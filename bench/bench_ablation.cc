@@ -1,0 +1,125 @@
+// Ablation bench (DESIGN.md, process step 5): quantifies the design choices
+// of the lookahead machinery rather than a paper figure.
+//   A1 — candidate cap: lookahead strategies score at most `max_candidates`
+//        informative classes per step. How much interaction quality does the
+//        cap cost, and how much decision latency does it buy?
+//   A2 — entropy family: the generalized (Tsallis) α parameter of
+//        lookahead-entropy. Does the choice of α matter?
+//   A3 — hypothesis-space price: the selection+join extension runs the same
+//        goals in a strictly larger space; how many extra questions?
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/jim.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "workload/synthetic.h"
+#include "workload/travel.h"
+
+namespace {
+
+using namespace jim;
+
+workload::SyntheticWorkload MakeWorkload(uint64_t seed) {
+  util::Rng rng(seed);
+  workload::SyntheticSpec spec;
+  spec.num_attributes = 7;
+  spec.num_tuples = 1500;
+  spec.domain_size = 4;
+  spec.goal_constraints = 3;
+  return workload::MakeSyntheticWorkload(spec, rng);
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kRepetitions = 7;
+
+  std::cout << "== A1: lookahead candidate cap (synthetic: 7 attrs, 1500 "
+               "tuples, 3-eq goals; mean over "
+            << kRepetitions << " instances) ==\n\n";
+  util::TablePrinter cap_table(
+      {"max_candidates", "interactions", "ms/decision"});
+  cap_table.SetAlignments({util::Align::kRight, util::Align::kRight,
+                           util::Align::kRight});
+  for (size_t cap : {4u, 16u, 64u, 256u, 0u}) {
+    bench::Series interactions;
+    bench::Series millis;
+    for (size_t rep = 0; rep < kRepetitions; ++rep) {
+      const auto workload = MakeWorkload(500 + rep);
+      core::LookaheadStrategy strategy(
+          core::LookaheadStrategy::Objective::kEntropy, /*alpha=*/1.0, cap);
+      util::Stopwatch clock;
+      const auto result =
+          core::RunSession(workload.instance, workload.goal, strategy);
+      interactions.Add(static_cast<double>(result.interactions));
+      millis.Add(result.steps.empty()
+                     ? 0
+                     : clock.ElapsedSeconds() * 1e3 /
+                           static_cast<double>(result.steps.size()));
+    }
+    cap_table.AddRow({cap == 0 ? "unlimited" : std::to_string(cap),
+                      interactions.MeanStd(),
+                      util::StrFormat("%.2f", millis.Mean())});
+  }
+  std::cout << cap_table.ToString()
+            << "\nExpected: interactions degrade only mildly under small "
+               "caps while per-decision latency drops sharply — the cap is "
+               "what keeps lookahead interactive on big instances.\n";
+
+  std::cout << "\n== A2: Tsallis α in lookahead-entropy (same workloads) ==\n\n";
+  util::TablePrinter alpha_table({"alpha", "interactions"});
+  alpha_table.SetAlignments({util::Align::kRight, util::Align::kRight});
+  for (double alpha : {0.5, 1.0, 2.0, 3.0}) {
+    bench::Series interactions;
+    for (size_t rep = 0; rep < kRepetitions; ++rep) {
+      const auto workload = MakeWorkload(500 + rep);
+      core::LookaheadStrategy strategy(
+          core::LookaheadStrategy::Objective::kEntropy, alpha, 256);
+      const auto result =
+          core::RunSession(workload.instance, workload.goal, strategy);
+      interactions.Add(static_cast<double>(result.interactions));
+    }
+    alpha_table.AddRow(
+        {util::FormatDouble(alpha), interactions.MeanStd()});
+  }
+  std::cout << alpha_table.ToString()
+            << "\nExpected: flat — the pruning-count signal dominates; the "
+               "entropy family mostly reorders ties.\n";
+
+  std::cout << "\n== A3: price of the selection+join hypothesis space "
+               "(Figure 1 goals) ==\n\n";
+  util::TablePrinter space_table(
+      {"goal", "pure-join questions", "selection+join questions"});
+  space_table.SetAlignments({util::Align::kLeft, util::Align::kRight,
+                             util::Align::kRight});
+  const auto instance = workload::Figure1InstancePtr();
+  for (const char* goal_text : {workload::kQ1, workload::kQ2}) {
+    const auto join_goal =
+        core::JoinPredicate::Parse(instance->schema(), goal_text).value();
+    core::LookaheadStrategy strategy(
+        core::LookaheadStrategy::Objective::kMinMax);
+    const auto pure = core::RunSession(instance, join_goal, strategy);
+    const auto extended_goal =
+        core::SelectionJoinQuery::Parse(instance->schema(), goal_text)
+            .value();
+    const auto extended = core::RunSelectionSession(instance, extended_goal);
+    space_table.AddRow({goal_text, std::to_string(pure.interactions),
+                        std::to_string(extended.interactions)});
+  }
+  // One goal only the extension can express.
+  {
+    const auto extended_goal = core::SelectionJoinQuery::Parse(
+                                   instance->schema(),
+                                   "To=City && Airline='AF'")
+                                   .value();
+    const auto extended = core::RunSelectionSession(instance, extended_goal);
+    space_table.AddRow({"To=City && Airline='AF'", "(inexpressible)",
+                        std::to_string(extended.interactions)});
+  }
+  std::cout << space_table.ToString()
+            << "\nExpected: the richer space needs more questions on the "
+               "same goals — expressiveness is paid for in labels.\n";
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Experiment M1 (DESIGN.md): engineering microbenchmarks (google-benchmark).
+// Latency of the primitives everything else is built from: partition
+// algebra, tuple-partition extraction, engine construction, label
+// propagation, and one full strategy decision.
+
+#include <benchmark/benchmark.h>
+
+#include "core/jim.h"
+#include "lattice/enumeration.h"
+#include "lattice/partition.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+#include "workload/travel.h"
+
+namespace {
+
+using namespace jim;
+
+lat::Partition RandomPartition(size_t n, util::Rng& rng) {
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(n) / 2));
+  }
+  return lat::Partition::FromLabels(labels);
+}
+
+void BM_PartitionMeet(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  const lat::Partition a = RandomPartition(n, rng);
+  const lat::Partition b = RandomPartition(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Meet(b));
+  }
+}
+BENCHMARK(BM_PartitionMeet)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_PartitionJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(2);
+  const lat::Partition a = RandomPartition(n, rng);
+  const lat::Partition b = RandomPartition(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Join(b));
+  }
+}
+BENCHMARK(BM_PartitionJoin)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_PartitionRefines(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(3);
+  const lat::Partition a = RandomPartition(n, rng);
+  const lat::Partition b = a.Join(RandomPartition(n, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Refines(b));
+  }
+}
+BENCHMARK(BM_PartitionRefines)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_TuplePartition(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(4);
+  rel::Tuple tuple;
+  for (size_t i = 0; i < n; ++i) {
+    tuple.push_back(rel::Value(rng.UniformInt(0, 4)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TuplePartition(tuple));
+  }
+}
+BENCHMARK(BM_TuplePartition)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_BellNumber(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lat::BellNumber(20));
+  }
+}
+BENCHMARK(BM_BellNumber);
+
+void BM_EngineBuild(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  util::Rng rng(5);
+  workload::SyntheticSpec spec;
+  spec.num_tuples = tuples;
+  spec.num_attributes = 6;
+  spec.domain_size = 6;
+  const auto workload = workload::MakeSyntheticWorkload(spec, rng);
+  for (auto _ : state) {
+    core::InferenceEngine engine(workload.instance);
+    benchmark::DoNotOptimize(engine.num_classes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples));
+}
+BENCHMARK(BM_EngineBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LabelPropagation(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  util::Rng rng(6);
+  workload::SyntheticSpec spec;
+  spec.num_tuples = tuples;
+  spec.num_attributes = 6;
+  spec.domain_size = 6;
+  const auto workload = workload::MakeSyntheticWorkload(spec, rng);
+  const core::InferenceEngine prototype(workload.instance);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::InferenceEngine engine = prototype;
+    const auto informative = engine.InformativeClasses();
+    state.ResumeTiming();
+    (void)engine.SubmitClassLabel(informative[informative.size() / 2],
+                                  core::Label::kPositive);
+    benchmark::DoNotOptimize(engine.NumInformativeTuples());
+  }
+}
+BENCHMARK(BM_LabelPropagation)->Arg(1000)->Arg(10000);
+
+void BM_LookaheadDecision(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  util::Rng rng(7);
+  workload::SyntheticSpec spec;
+  spec.num_tuples = tuples;
+  spec.num_attributes = 6;
+  spec.domain_size = 6;
+  const auto workload = workload::MakeSyntheticWorkload(spec, rng);
+  core::InferenceEngine engine(workload.instance);
+  auto strategy = core::MakeStrategy("lookahead-entropy").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy->PickClass(engine));
+  }
+}
+BENCHMARK(BM_LookaheadDecision)->Arg(1000)->Arg(10000);
+
+void BM_LocalDecision(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  util::Rng rng(8);
+  workload::SyntheticSpec spec;
+  spec.num_tuples = tuples;
+  spec.num_attributes = 6;
+  spec.domain_size = 6;
+  const auto workload = workload::MakeSyntheticWorkload(spec, rng);
+  core::InferenceEngine engine(workload.instance);
+  auto strategy = core::MakeStrategy("local-bottom-up").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy->PickClass(engine));
+  }
+}
+BENCHMARK(BM_LocalDecision)->Arg(1000)->Arg(10000);
+
+void BM_Figure1FullSession(benchmark::State& state) {
+  auto instance = workload::Figure1InstancePtr();
+  const auto goal =
+      core::JoinPredicate::Parse(instance->schema(), workload::kQ2).value();
+  for (auto _ : state) {
+    auto strategy = core::MakeStrategy("lookahead-entropy").value();
+    benchmark::DoNotOptimize(
+        core::RunSession(instance, goal, *strategy).interactions);
+  }
+}
+BENCHMARK(BM_Figure1FullSession);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+#ifndef JIM_BENCH_BENCH_UTIL_H_
+#define JIM_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace jim::bench {
+
+/// Mean and sample standard deviation of a series.
+struct Series {
+  std::vector<double> values;
+
+  void Add(double v) { values.push_back(v); }
+  double Mean() const {
+    if (values.empty()) return 0;
+    double sum = 0;
+    for (double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+  }
+  double StdDev() const {
+    if (values.size() < 2) return 0;
+    const double mean = Mean();
+    double sq = 0;
+    for (double v : values) sq += (v - mean) * (v - mean);
+    return std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  double Min() const {
+    double best = values.empty() ? 0 : values[0];
+    for (double v : values) best = std::min(best, v);
+    return best;
+  }
+  double Max() const {
+    double worst = values.empty() ? 0 : values[0];
+    for (double v : values) worst = std::max(worst, v);
+    return worst;
+  }
+  /// "12.4 ± 1.3"
+  std::string MeanStd() const {
+    return util::StrFormat("%.1f ± %.1f", Mean(), StdDev());
+  }
+};
+
+/// Runs `body(seed)` for `repetitions` seeds derived from `base_seed`,
+/// collecting one value per run.
+inline Series Repeat(size_t repetitions, uint64_t base_seed,
+                     const std::function<double(uint64_t)>& body) {
+  Series series;
+  for (size_t r = 0; r < repetitions; ++r) {
+    series.Add(body(base_seed + 1000003 * r));
+  }
+  return series;
+}
+
+}  // namespace jim::bench
+
+#endif  // JIM_BENCH_BENCH_UTIL_H_

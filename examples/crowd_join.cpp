@@ -1,0 +1,93 @@
+// Crowdsourced joins (paper §1): "minimizing the number of interactions
+// entails lower financial costs". This example prices the same join task
+// three ways:
+//   - JIM with crowd answers (majority vote per membership question),
+//   - the transitivity-exploiting crowd join of Wang et al. [5],
+//   - naively asking the crowd about everything.
+//
+// Usage:
+//   ./crowd_join [--error=0.1] [--workers=3] [--price=0.05]
+
+#include <iostream>
+#include <string>
+
+#include "core/jim.h"
+#include "crowd/baselines.h"
+#include "crowd/crowd_join.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/setgame.h"
+
+int main(int argc, char** argv) {
+  using namespace jim;
+
+  crowd::CrowdOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--error=", 0) == 0) {
+      options.worker_error_rate = std::stod(arg.substr(8));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options.workers_per_question =
+          static_cast<size_t>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--price=", 0) == 0) {
+      options.price_per_answer = std::stod(arg.substr(8));
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  // Task: join the 81 Set cards on "same color" (an entity-resolution-style
+  // equivalence, so the transitive baseline applies too).
+  const rel::Relation cards = workload::AllSetCards();
+  util::Rng rng(7);
+  auto pair_instance = workload::SetPairInstance(/*sample_size=*/0, rng);
+  auto goal =
+      core::JoinPredicate::Parse(pair_instance->schema(),
+                                 "Left.Color=Right.Color")
+          .value();
+
+  std::cout << "task: crowdsource the join of " << cards.num_rows()
+            << " tagged pictures on \"same color\" ("
+            << pair_instance->num_rows() << " candidate pairs)\n"
+            << "workers/question: " << options.workers_per_question
+            << ", worker error rate: " << options.worker_error_rate
+            << " (majority-vote error: "
+            << util::FormatDouble(crowd::MajorityErrorRate(
+                   options.workers_per_question, options.worker_error_rate))
+            << "), price/answer: $" << options.price_per_answer << "\n\n";
+
+  util::TablePrinter table(
+      {"method", "questions", "answers", "cost ($)", "majority errs",
+       "correct"});
+  table.SetAlignments({util::Align::kLeft, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kLeft});
+
+  auto add_row = [&table](const std::string& name,
+                          const crowd::CrowdRunResult& r) {
+    table.AddRow({name, std::to_string(r.questions),
+                  std::to_string(r.worker_answers),
+                  util::StrFormat("%.2f", r.total_cost),
+                  std::to_string(r.majority_errors),
+                  r.correct ? "yes" : "NO"});
+  };
+
+  {
+    auto strategy = core::MakeStrategy("lookahead-entropy").value();
+    add_row("JIM (crowd-answered)",
+            crowd::RunCrowdJim(pair_instance, goal, *strategy, options));
+  }
+  add_row("transitive crowd join [5]",
+          crowd::RunTransitiveCrowdJoin(cards, goal, options));
+  add_row("label everything",
+          crowd::RunLabelEverything(pair_instance, goal, options));
+
+  std::cout << table.ToString()
+            << "\nJIM asks about *predicates* (n-ary joins), the transitive "
+               "baseline only about same-entity pairs;\nJIM's advantage "
+               "grows with instance size because its question count depends "
+               "on the schema, not the data volume.\n";
+  return 0;
+}

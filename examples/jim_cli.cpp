@@ -1,0 +1,198 @@
+// jim_cli — drive JIM against your own data.
+//
+// Subcommands:
+//   infer <file.csv> [--strategy=NAME] [--mode=1..4] [--goal=PRED] [--auto]
+//       Interactive join inference over a CSV instance (header row =
+//       attribute names; column types inferred). With --auto a simulated
+//       user labels according to --goal (required then). With --selection
+//       the goal may contain constant selections (e.g. "Airline='AF'").
+//   classes <file.csv>
+//       Show the tuple equivalence classes JIM reasons over.
+//   eval <file.csv> --query=PRED
+//       Evaluate an equi-join predicate on the instance.
+//   strategies
+//       List the available question-selection strategies.
+//
+// Examples:
+//   jim_cli infer flights.csv
+//   jim_cli infer flights.csv --auto --goal="To=City && Airline=Discount"
+//   jim_cli eval flights.csv --query="To=City"
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/jim.h"
+#include "relational/csv_io.h"
+#include "ui/console_ui.h"
+#include "ui/demo_runner.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace jim;
+
+int Fail(const std::string& message) {
+  std::cerr << "jim_cli: " << message << "\n";
+  return 2;
+}
+
+struct Flags {
+  std::map<std::string, std::string> named;
+  std::vector<std::string> positional;
+
+  bool Has(const std::string& name) const { return named.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = named.find(name);
+    return it == named.end() ? fallback : it->second;
+  }
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::StartsWith(arg, "--")) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags.named[arg.substr(2)] = "true";
+      } else {
+        flags.named[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+util::StatusOr<std::shared_ptr<const rel::Relation>> LoadInstance(
+    const Flags& flags) {
+  if (flags.positional.empty()) {
+    return util::InvalidArgumentError("expected a CSV file argument");
+  }
+  auto relation = rel::LoadRelationFromCsvFile(flags.positional[0]);
+  if (!relation.ok()) return relation.status();
+  return std::make_shared<const rel::Relation>(*std::move(relation));
+}
+
+int CmdStrategies() {
+  std::cout << "available strategies:\n";
+  for (const std::string& name : core::KnownStrategyNames()) {
+    std::cout << "  " << name << "\n";
+  }
+  return 0;
+}
+
+int CmdClasses(const Flags& flags) {
+  auto instance = LoadInstance(flags);
+  if (!instance.ok()) return Fail(instance.status().ToString());
+  core::InferenceEngine engine(*instance);
+  std::cout << "instance: " << (*instance)->num_rows() << " tuples, "
+            << (*instance)->num_attributes() << " attributes, "
+            << engine.num_classes() << " tuple classes\n\n";
+  util::TablePrinter table({"class", "value partition", "tuples", "example"});
+  table.SetAlignments({util::Align::kRight, util::Align::kLeft,
+                       util::Align::kRight, util::Align::kLeft});
+  for (size_t c = 0; c < engine.num_classes(); ++c) {
+    const auto& cls = engine.tuple_class(c);
+    table.AddRow({std::to_string(c), cls.partition.ToString(),
+                  std::to_string(cls.size()),
+                  ui::RenderTuple(**instance, cls.tuple_indices[0])});
+  }
+  std::cout << table.ToString()
+            << "\n(tuples in one class are interchangeable: labeling one "
+               "determines all of them)\n";
+  return 0;
+}
+
+int CmdEval(const Flags& flags) {
+  auto instance = LoadInstance(flags);
+  if (!instance.ok()) return Fail(instance.status().ToString());
+  if (!flags.Has("query")) return Fail("eval needs --query=\"a=b && ...\"");
+  auto predicate =
+      core::JoinPredicate::Parse((*instance)->schema(), flags.Get("query"));
+  if (!predicate.ok()) return Fail(predicate.status().ToString());
+  const auto selected = predicate->SelectedRows(**instance);
+  std::cout << "predicate: " << predicate->ToString() << "\n"
+            << "selects " << selected.Count() << " of "
+            << (*instance)->num_rows() << " tuples:\n";
+  for (size_t t : selected.ToVector()) {
+    std::cout << "  (" << t + 1 << ") " << ui::RenderTuple(**instance, t)
+              << "\n";
+  }
+  return 0;
+}
+
+int CmdInfer(const Flags& flags) {
+  auto instance = LoadInstance(flags);
+  if (!instance.ok()) return Fail(instance.status().ToString());
+
+  // The selection+join extension runs its own loop.
+  if (flags.Has("selection")) {
+    if (!flags.Has("goal")) {
+      return Fail("--selection currently requires --goal (auto mode)");
+    }
+    auto goal = core::SelectionJoinQuery::Parse((*instance)->schema(),
+                                                flags.Get("goal"));
+    if (!goal.ok()) return Fail(goal.status().ToString());
+    const auto result = core::RunSelectionSession(*instance, *goal);
+    std::cout << "questions: " << result.interactions << "\n"
+              << "inferred:  "
+              << (result.result.has_value() ? result.result->ToString()
+                                            : "(empty result set)")
+              << "\n"
+              << "identified goal: "
+              << (result.identified_goal ? "yes" : "NO") << "\n";
+    return result.identified_goal ? 0 : 1;
+  }
+
+  ui::DemoOptions options;
+  options.strategy = flags.Get("strategy", "lookahead-entropy");
+  const int mode = std::stoi(flags.Get("mode", "4"));
+  if (mode < 1 || mode > 4) return Fail("--mode must be 1..4");
+  options.mode = static_cast<core::InteractionMode>(mode);
+
+  std::optional<core::JoinPredicate> goal;
+  if (flags.Has("goal")) {
+    auto parsed =
+        core::JoinPredicate::Parse((*instance)->schema(), flags.Get("goal"));
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    goal = *std::move(parsed);
+  }
+  if (flags.Has("auto")) {
+    if (!goal.has_value()) return Fail("--auto requires --goal");
+    options.auto_oracle = std::make_unique<core::ExactOracle>(*goal);
+  }
+
+  auto result =
+      ui::RunConsoleDemo(*instance, std::move(options), std::cin, std::cout);
+  if (!result.ok()) return Fail(result.status().ToString());
+  if (goal.has_value()) {
+    std::cout << "identified the goal: "
+              << (core::InstanceEquivalent(**instance, *result, *goal)
+                      ? "yes"
+                      : "NO")
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: jim_cli {infer|classes|eval|strategies} ...\n"
+                 "       (see the header of examples/jim_cli.cpp)\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "strategies") return CmdStrategies();
+  if (command == "classes") return CmdClasses(flags);
+  if (command == "eval") return CmdEval(flags);
+  if (command == "infer") return CmdInfer(flags);
+  return Fail("unknown command '" + command + "'");
+}

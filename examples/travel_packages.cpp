@@ -1,0 +1,110 @@
+// The full demonstration scenario on the travel-agency example: all four
+// interaction types of the paper's Figure 3, with either a human at the
+// console or a simulated user (--auto).
+//
+// Usage:
+//   ./travel_packages                         # interactive, mode 4
+//   ./travel_packages --mode=2                # gray-out mode, you label rows
+//   ./travel_packages --auto                  # simulated user infers Q2
+//   ./travel_packages --auto --goal="To=City" --strategy=local-bottom-up
+//   ./travel_packages --auto --compare        # Figure 4: all modes compared
+//
+// In interactive modes answer with "+", "-", "<row> +", "t" (table),
+// "p" (progress), "q" (quit).
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/jim.h"
+#include "ui/console_ui.h"
+#include "ui/demo_runner.h"
+#include "workload/travel.h"
+
+namespace {
+
+struct Args {
+  int mode = 4;
+  std::string strategy = "lookahead-entropy";
+  std::string goal = jim::workload::kQ2;
+  bool auto_user = false;
+  bool compare = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mode=", 0) == 0) {
+      args.mode = std::stoi(arg.substr(7));
+    } else if (arg.rfind("--strategy=", 0) == 0) {
+      args.strategy = arg.substr(11);
+    } else if (arg.rfind("--goal=", 0) == 0) {
+      args.goal = arg.substr(7);
+    } else if (arg == "--auto") {
+      args.auto_user = true;
+    } else if (arg == "--compare") {
+      args.compare = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jim;
+  const Args args = ParseArgs(argc, argv);
+
+  auto instance = workload::Figure1InstancePtr();
+  auto goal_or = core::JoinPredicate::Parse(instance->schema(), args.goal);
+  if (!goal_or.ok()) {
+    std::cerr << "bad --goal: " << goal_or.status().ToString() << "\n";
+    return 2;
+  }
+  const core::JoinPredicate goal = *std::move(goal_or);
+
+  if (args.compare) {
+    // Figure 4 in miniature: run the same inference under all four
+    // interaction types and chart the interaction counts.
+    std::vector<std::pair<std::string, size_t>> chart;
+    for (int mode = 1; mode <= 4; ++mode) {
+      auto strategy = core::MakeStrategy(args.strategy, /*seed=*/13).value();
+      core::ExactOracle oracle(goal);
+      core::SessionOptions options;
+      options.mode = static_cast<core::InteractionMode>(mode);
+      options.user_seed = 29;
+      const core::SessionResult result =
+          core::RunSession(instance, goal, *strategy, oracle, options);
+      chart.emplace_back(
+          std::string(core::InteractionModeToString(options.mode)),
+          result.interactions);
+    }
+    std::cout << "Interactions to infer \"" << goal.ToString()
+              << "\" under each interaction type (paper Figure 4):\n\n"
+              << ui::RenderSavingsChart(chart);
+    return 0;
+  }
+
+  ui::DemoOptions options;
+  options.mode = static_cast<core::InteractionMode>(args.mode);
+  options.strategy = args.strategy;
+  if (args.auto_user) {
+    options.auto_oracle = std::make_unique<core::ExactOracle>(goal);
+  }
+  auto result = ui::RunConsoleDemo(instance, std::move(options), std::cin,
+                                   std::cout);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "goal reached: "
+            << (core::InstanceEquivalent(*instance, *result, goal) ? "yes"
+                                                                   : "no")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,259 @@
+#include "core/engine.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace jim::core {
+
+std::string_view ClassStatusToString(ClassStatus status) {
+  switch (status) {
+    case ClassStatus::kInformative:
+      return "informative";
+    case ClassStatus::kForcedPositive:
+      return "forced-positive";
+    case ClassStatus::kForcedNegative:
+      return "forced-negative";
+    case ClassStatus::kLabeledPositive:
+      return "labeled-positive";
+    case ClassStatus::kLabeledNegative:
+      return "labeled-negative";
+  }
+  return "?";
+}
+
+std::string_view TupleStatusToString(TupleStatus status) {
+  switch (status) {
+    case TupleStatus::kInformative:
+      return "informative";
+    case TupleStatus::kForcedPositive:
+      return "forced-positive";
+    case TupleStatus::kForcedNegative:
+      return "forced-negative";
+    case TupleStatus::kLabeledPositive:
+      return "labeled-positive";
+    case TupleStatus::kLabeledNegative:
+      return "labeled-negative";
+  }
+  return "?";
+}
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const rel::Relation> relation)
+    : relation_(std::move(relation)),
+      state_(relation_->num_attributes()) {
+  JIM_CHECK(relation_ != nullptr);
+  explicit_label_.assign(relation_->num_rows(), 0);
+  BuildClasses();
+  // Some tuples may be uninformative from the start (e.g. all-values-equal
+  // tuples are selected by every predicate).
+  Propagate();
+}
+
+void InferenceEngine::BuildClasses() {
+  std::unordered_map<lat::Partition, size_t, lat::PartitionHash> class_ids;
+  class_of_tuple_.resize(relation_->num_rows());
+  for (size_t t = 0; t < relation_->num_rows(); ++t) {
+    lat::Partition part = TuplePartition(relation_->row(t));
+    auto [it, inserted] = class_ids.emplace(part, classes_.size());
+    if (inserted) {
+      classes_.push_back(TupleClass{std::move(part), {}});
+    }
+    classes_[it->second].tuple_indices.push_back(t);
+    class_of_tuple_[t] = it->second;
+  }
+  class_status_.assign(classes_.size(), ClassStatus::kInformative);
+}
+
+size_t InferenceEngine::Propagate() {
+  size_t pruned = 0;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    if (class_status_[c] != ClassStatus::kInformative) continue;
+    // Uninformativeness is monotone (θ_P only shrinks, forbidden zones only
+    // grow), so classes already forced or labeled never need revisiting.
+    switch (state_.Classify(classes_[c].partition)) {
+      case TupleClassification::kForcedPositive:
+        class_status_[c] = ClassStatus::kForcedPositive;
+        ++pruned;
+        break;
+      case TupleClassification::kForcedNegative:
+        class_status_[c] = ClassStatus::kForcedNegative;
+        ++pruned;
+        break;
+      case TupleClassification::kInformative:
+        break;
+    }
+  }
+  return pruned;
+}
+
+std::vector<size_t> InferenceEngine::InformativeClasses() const {
+  std::vector<size_t> ids;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    if (class_status_[c] == ClassStatus::kInformative) ids.push_back(c);
+  }
+  return ids;
+}
+
+size_t InferenceEngine::NumInformativeTuples() const {
+  size_t count = 0;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    if (class_status_[c] == ClassStatus::kInformative) {
+      count += classes_[c].size();
+    }
+  }
+  return count;
+}
+
+bool InferenceEngine::IsDone() const {
+  for (ClassStatus status : class_status_) {
+    if (status == ClassStatus::kInformative) return false;
+  }
+  return true;
+}
+
+JoinPredicate InferenceEngine::Result() const {
+  return JoinPredicate(relation_->schema(), state_.theta_p());
+}
+
+util::DynamicBitset InferenceEngine::CertainResultTuples() const {
+  util::DynamicBitset certain(relation_->num_rows());
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    if (IsPositive(class_status_[c])) {
+      for (size_t t : classes_[c].tuple_indices) certain.Set(t);
+    }
+  }
+  return certain;
+}
+
+util::DynamicBitset InferenceEngine::CertainNonResultTuples() const {
+  util::DynamicBitset certain(relation_->num_rows());
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    if (class_status_[c] == ClassStatus::kForcedNegative ||
+        class_status_[c] == ClassStatus::kLabeledNegative) {
+      for (size_t t : classes_[c].tuple_indices) certain.Set(t);
+    }
+  }
+  return certain;
+}
+
+util::Status InferenceEngine::LabelImpl(size_t class_id, size_t tuple_index,
+                                        Label label) {
+  const ClassStatus before = class_status_[class_id];
+  // Relabeling an explicitly labeled class is rejected as contradictory or
+  // accepted as a (wasted) repetition.
+  if (before == ClassStatus::kLabeledPositive ||
+      before == ClassStatus::kLabeledNegative) {
+    const bool agrees = (before == ClassStatus::kLabeledPositive) ==
+                        (label == Label::kPositive);
+    if (!agrees) {
+      return util::FailedPreconditionError(
+          "tuple was already labeled with the opposite label");
+    }
+    ++wasted_interactions_;
+    history_.push_back(LabeledExample{tuple_index, label});
+    explicit_label_[tuple_index] = label == Label::kPositive ? 1 : 2;
+    return util::OkStatus();
+  }
+
+  const bool was_informative = before == ClassStatus::kInformative;
+  RETURN_IF_ERROR(state_.ApplyLabel(classes_[class_id].partition, label));
+
+  class_status_[class_id] = label == Label::kPositive
+                                ? ClassStatus::kLabeledPositive
+                                : ClassStatus::kLabeledNegative;
+  history_.push_back(LabeledExample{tuple_index, label});
+  explicit_label_[tuple_index] = label == Label::kPositive ? 1 : 2;
+  if (!was_informative) {
+    // Consistent label on a grayed-out tuple: accepted, teaches nothing.
+    ++wasted_interactions_;
+    return util::OkStatus();
+  }
+  Propagate();
+  return util::OkStatus();
+}
+
+TupleStatus InferenceEngine::tuple_status(size_t tuple_index) const {
+  JIM_CHECK_LT(tuple_index, relation_->num_rows());
+  if (explicit_label_[tuple_index] == 1) return TupleStatus::kLabeledPositive;
+  if (explicit_label_[tuple_index] == 2) return TupleStatus::kLabeledNegative;
+  switch (class_status_[class_of_tuple_[tuple_index]]) {
+    case ClassStatus::kInformative:
+      return TupleStatus::kInformative;
+    case ClassStatus::kForcedPositive:
+    case ClassStatus::kLabeledPositive:
+      return TupleStatus::kForcedPositive;
+    case ClassStatus::kForcedNegative:
+    case ClassStatus::kLabeledNegative:
+      return TupleStatus::kForcedNegative;
+  }
+  return TupleStatus::kInformative;
+}
+
+util::Status InferenceEngine::SubmitTupleLabel(size_t tuple_index,
+                                               Label label) {
+  if (tuple_index >= relation_->num_rows()) {
+    return util::OutOfRangeError("tuple index out of range");
+  }
+  return LabelImpl(class_of_tuple_[tuple_index], tuple_index, label);
+}
+
+util::Status InferenceEngine::SubmitClassLabel(size_t class_id, Label label) {
+  if (class_id >= classes_.size()) {
+    return util::OutOfRangeError("class id out of range");
+  }
+  return LabelImpl(class_id, classes_[class_id].tuple_indices.front(), label);
+}
+
+InferenceEngine::LabelImpact InferenceEngine::SimulateLabel(
+    size_t class_id, Label label) const {
+  JIM_CHECK_LT(class_id, classes_.size());
+  JIM_CHECK(class_status_[class_id] == ClassStatus::kInformative);
+  InferenceState hypothetical = state_;
+  // An informative class accepts either label by definition.
+  JIM_CHECK_OK(hypothetical.ApplyLabel(classes_[class_id].partition, label));
+
+  LabelImpact impact;
+  impact.pruned_classes = 1;
+  impact.pruned_tuples = classes_[class_id].size();
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    if (c == class_id || class_status_[c] != ClassStatus::kInformative) {
+      continue;
+    }
+    if (hypothetical.Classify(classes_[c].partition) !=
+        TupleClassification::kInformative) {
+      ++impact.pruned_classes;
+      impact.pruned_tuples += classes_[c].size();
+    }
+  }
+  return impact;
+}
+
+InferenceEngine::Stats InferenceEngine::GetStats() const {
+  Stats stats;
+  stats.num_tuples = relation_->num_rows();
+  stats.num_classes = classes_.size();
+  stats.interactions = history_.size();
+  stats.wasted_interactions = wasted_interactions_;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    const size_t members = classes_[c].size();
+    switch (class_status_[c]) {
+      case ClassStatus::kInformative:
+        ++stats.informative_classes;
+        stats.informative_tuples += members;
+        break;
+      case ClassStatus::kForcedPositive:
+        stats.forced_positive_tuples += members;
+        break;
+      case ClassStatus::kForcedNegative:
+        stats.forced_negative_tuples += members;
+        break;
+      case ClassStatus::kLabeledPositive:
+      case ClassStatus::kLabeledNegative:
+        stats.explicitly_labeled_tuples += members;
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace jim::core

@@ -1,0 +1,188 @@
+#ifndef JIM_CORE_ENGINE_H_
+#define JIM_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/example.h"
+#include "core/inference_state.h"
+#include "core/join_predicate.h"
+#include "lattice/partition.h"
+#include "relational/relation.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace jim::core {
+
+/// An equivalence class of tuples: all tuples of the instance sharing the
+/// same value partition Part(t). Tuples in one class are interchangeable for
+/// inference — labeling any member forces the labels of all the others — so
+/// the engine reasons over classes and the paper's "label propagation"
+/// (graying out uninformative tuples) falls out for free.
+struct TupleClass {
+  lat::Partition partition;
+  std::vector<size_t> tuple_indices;
+
+  size_t size() const { return tuple_indices.size(); }
+};
+
+/// Lifecycle of a class during a session.
+enum class ClassStatus {
+  /// Labeling a member tuple would narrow the hypothesis space.
+  kInformative,
+  /// All consistent predicates select these tuples (uninformative, grayed).
+  kForcedPositive,
+  /// No consistent predicate selects these tuples (uninformative, grayed).
+  kForcedNegative,
+  /// The user explicitly labeled a member positive / negative.
+  kLabeledPositive,
+  kLabeledNegative,
+};
+
+std::string_view ClassStatusToString(ClassStatus status);
+
+/// Per-tuple view of the class lifecycle. A tuple shows as *labeled* only if
+/// the user labeled that very tuple; class-mates of a labeled tuple show as
+/// *forced* (they are exactly the tuples the demo grays out).
+enum class TupleStatus {
+  kInformative,
+  kForcedPositive,
+  kForcedNegative,
+  kLabeledPositive,
+  kLabeledNegative,
+};
+
+std::string_view TupleStatusToString(TupleStatus status);
+
+/// True for the two statuses that still carry a question mark.
+inline bool IsInformative(ClassStatus status) {
+  return status == ClassStatus::kInformative;
+}
+/// True for statuses whose tuples belong to the final join result.
+inline bool IsPositive(ClassStatus status) {
+  return status == ClassStatus::kForcedPositive ||
+         status == ClassStatus::kLabeledPositive;
+}
+
+/// The Join Inference Machine: drives the interactive scenario of the paper
+/// (Figure 2). Holds the instance, the inference state, and per-class
+/// bookkeeping; each accepted label triggers propagation that reclassifies
+/// (and effectively grays out) tuples that became uninformative.
+///
+/// The engine is strategy-agnostic: strategies (src/core/strategies.h) pick
+/// which informative class to ask about next; interaction modes 1-4 of the
+/// demonstration are built on top in src/core/session.h.
+class InferenceEngine {
+ public:
+  /// Builds the engine over `relation` (shared, never mutated). Computes
+  /// Part(t) for every tuple and groups tuples into classes; O(N·n²) for N
+  /// tuples and n attributes.
+  explicit InferenceEngine(std::shared_ptr<const rel::Relation> relation);
+
+  InferenceEngine(const InferenceEngine&) = default;
+  InferenceEngine& operator=(const InferenceEngine&) = default;
+
+  const rel::Relation& relation() const { return *relation_; }
+  const std::shared_ptr<const rel::Relation>& relation_ptr() const {
+    return relation_;
+  }
+  const InferenceState& state() const { return state_; }
+
+  size_t num_tuples() const { return relation_->num_rows(); }
+  size_t num_classes() const { return classes_.size(); }
+  const TupleClass& tuple_class(size_t class_id) const {
+    return classes_[class_id];
+  }
+  ClassStatus class_status(size_t class_id) const {
+    return class_status_[class_id];
+  }
+  size_t class_of_tuple(size_t tuple_index) const {
+    return class_of_tuple_[tuple_index];
+  }
+
+  /// Status of an individual tuple (see TupleStatus). This is what the demo
+  /// UI renders: explicit labels as +/−, forced tuples grayed out.
+  TupleStatus tuple_status(size_t tuple_index) const;
+
+  /// Ids of classes that are still worth asking about, ascending.
+  std::vector<size_t> InformativeClasses() const;
+
+  /// Total member count over informative classes.
+  size_t NumInformativeTuples() const;
+
+  /// True when every class is labeled or forced: all consistent predicates
+  /// are instance-equivalent and Result() is the canonical answer.
+  bool IsDone() const;
+
+  /// Tuples already *certain* to belong to the final join result (labeled
+  /// positive or forced positive), regardless of how inference ends — the
+  /// "certain answers" the demo can show at any point. Monotone: the set
+  /// only grows as labels arrive.
+  util::DynamicBitset CertainResultTuples() const;
+
+  /// Tuples certain to be excluded from the final join result.
+  util::DynamicBitset CertainNonResultTuples() const;
+
+  /// The inferred predicate so far: θ_P, the maximal consistent predicate.
+  /// After IsDone() this identifies the goal up to instance-equivalence.
+  JoinPredicate Result() const;
+
+  /// Labels the tuple (mode-1 entry point: any tuple, informative or not).
+  /// Returns kFailedPrecondition and leaves the engine unchanged when the
+  /// label contradicts earlier labels. A consistent label on an
+  /// uninformative tuple is accepted, counted as a wasted interaction, and
+  /// does not change the state.
+  util::Status SubmitTupleLabel(size_t tuple_index, Label label);
+
+  /// Labels (the representative tuple of) a class.
+  util::Status SubmitClassLabel(size_t class_id, Label label);
+
+  /// What would happen if `class_id` got `label`: number of classes/tuples
+  /// leaving the informative pool (the labeled class included). Pure.
+  struct LabelImpact {
+    size_t pruned_classes = 0;
+    size_t pruned_tuples = 0;
+  };
+  LabelImpact SimulateLabel(size_t class_id, Label label) const;
+
+  /// Progress counters for the demo UI and session traces.
+  struct Stats {
+    size_t num_tuples = 0;
+    size_t num_classes = 0;
+    size_t interactions = 0;       ///< accepted labels (user effort)
+    size_t wasted_interactions = 0;///< accepted labels that taught nothing
+    size_t informative_tuples = 0;
+    size_t informative_classes = 0;
+    size_t forced_positive_tuples = 0;
+    size_t forced_negative_tuples = 0;
+    size_t explicitly_labeled_tuples = 0;
+  };
+  Stats GetStats() const;
+
+  /// Explicit labels in submission order.
+  const LabeledExamples& history() const { return history_; }
+
+ private:
+  void BuildClasses();
+  /// Shared implementation of the two Submit entry points; `tuple_index` is
+  /// the tuple recorded in the history (the one actually shown to the user).
+  util::Status LabelImpl(size_t class_id, size_t tuple_index, Label label);
+  /// Reclassifies informative classes after a state change; returns the
+  /// number of classes that left the pool.
+  size_t Propagate();
+
+  std::shared_ptr<const rel::Relation> relation_;
+  InferenceState state_;
+  std::vector<TupleClass> classes_;
+  std::vector<ClassStatus> class_status_;
+  std::vector<size_t> class_of_tuple_;
+  LabeledExamples history_;
+  /// 0 = not explicitly labeled; 1 = labeled positive; 2 = labeled negative.
+  std::vector<uint8_t> explicit_label_;
+  size_t wasted_interactions_ = 0;
+};
+
+}  // namespace jim::core
+
+#endif  // JIM_CORE_ENGINE_H_

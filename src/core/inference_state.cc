@@ -1,0 +1,93 @@
+#include "core/inference_state.h"
+
+#include "lattice/enumeration.h"
+#include "util/logging.h"
+
+namespace jim::core {
+
+std::string_view TupleClassificationToString(TupleClassification c) {
+  switch (c) {
+    case TupleClassification::kForcedPositive:
+      return "forced-positive";
+    case TupleClassification::kForcedNegative:
+      return "forced-negative";
+    case TupleClassification::kInformative:
+      return "informative";
+  }
+  return "?";
+}
+
+InferenceState::InferenceState(size_t num_attributes)
+    : num_attributes_(num_attributes),
+      theta_p_(lat::Partition::Top(num_attributes)) {}
+
+bool InferenceState::IsConsistent(const lat::Partition& candidate) const {
+  return candidate.Refines(theta_p_) && !negatives_.DominatedBy(candidate);
+}
+
+lat::Partition InferenceState::Knowledge(
+    const lat::Partition& tuple_partition) const {
+  return theta_p_.Meet(tuple_partition);
+}
+
+TupleClassification InferenceState::Classify(
+    const lat::Partition& tuple_partition) const {
+  const lat::Partition knowledge = Knowledge(tuple_partition);
+  // All consistent θ refine θ_P; they all select t iff θ_P ≤ Part(t),
+  // i.e. iff the meet did not lose anything.
+  if (knowledge == theta_p_) return TupleClassification::kForcedPositive;
+  // Some consistent θ selects t iff K (the maximal sub-θ_P predicate
+  // selecting t) escapes every forbidden zone.
+  if (negatives_.DominatedBy(knowledge)) {
+    return TupleClassification::kForcedNegative;
+  }
+  return TupleClassification::kInformative;
+}
+
+util::Status InferenceState::ApplyLabel(const lat::Partition& tuple_partition,
+                                        Label label) {
+  const TupleClassification classification = Classify(tuple_partition);
+  if (label == Label::kPositive) {
+    if (classification == TupleClassification::kForcedNegative) {
+      return util::FailedPreconditionError(
+          "positive label contradicts earlier labels: no consistent join "
+          "predicate selects this tuple");
+    }
+    has_positive_example_ = true;
+    if (classification == TupleClassification::kForcedPositive) {
+      return util::OkStatus();  // uninformative: nothing to learn
+    }
+    theta_p_ = Knowledge(tuple_partition);
+    // Only the part of each forbidden zone below the new θ_P remains
+    // meaningful; restricting also re-establishes antichain maximality.
+    negatives_.RestrictTo(theta_p_);
+    return util::OkStatus();
+  }
+  // Negative label.
+  if (classification == TupleClassification::kForcedPositive) {
+    return util::FailedPreconditionError(
+        "negative label contradicts earlier labels: every consistent join "
+        "predicate selects this tuple");
+  }
+  if (classification == TupleClassification::kForcedNegative) {
+    return util::OkStatus();  // uninformative: nothing to learn
+  }
+  negatives_.Insert(Knowledge(tuple_partition));
+  return util::OkStatus();
+}
+
+uint64_t InferenceState::CountConsistent(uint64_t limit) const {
+  JIM_CHECK_LE(lat::CountRefinements(theta_p_), limit);
+  uint64_t count = 0;
+  lat::VisitRefinements(theta_p_, [this, &count](const lat::Partition& q) {
+    if (!negatives_.DominatedBy(q)) ++count;
+    return true;
+  });
+  return count;
+}
+
+std::string InferenceState::CanonicalKey() const {
+  return theta_p_.ToString() + "#" + negatives_.ToString();
+}
+
+}  // namespace jim::core

@@ -1,0 +1,86 @@
+#ifndef JIM_CORE_INFERENCE_STATE_H_
+#define JIM_CORE_INFERENCE_STATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/example.h"
+#include "lattice/antichain.h"
+#include "lattice/partition.h"
+#include "util/status.h"
+
+namespace jim::core {
+
+/// How the current knowledge classifies a tuple (via its value partition).
+enum class TupleClassification {
+  /// Every consistent predicate selects the tuple — its label is determined;
+  /// asking the user would be wasted effort ("uninformative", grayed out).
+  kForcedPositive,
+  /// No consistent predicate selects the tuple — also uninformative.
+  kForcedNegative,
+  /// Consistent predicates disagree on the tuple: labeling it narrows the
+  /// hypothesis space. These are the only tuples worth asking about.
+  kInformative,
+};
+
+std::string_view TupleClassificationToString(TupleClassification c);
+
+/// The complete knowledge accumulated from the user's labels, in canonical
+/// form (see DESIGN.md §1):
+///
+///   θ_P  — the meet of Part(t) over all positive examples: the most
+///          constrained predicate consistent with the positives. Every
+///          consistent predicate refines θ_P; with an honest user θ_P itself
+///          is always consistent and is what JIM returns on termination.
+///   𝒩   — an antichain of maximal *forbidden* partitions: one M = θ_P ∧
+///          Part(s) per (non-redundant) negative example s. A predicate θ is
+///          inconsistent iff θ ≤ M for some member.
+///
+/// The state is deliberately independent of the instance: it summarizes
+/// labels in O(poly(#attributes)) space regardless of how many tuples were
+/// labeled. The engine layers tuple bookkeeping on top.
+class InferenceState {
+ public:
+  /// Initial state over `num_attributes` attributes: θ_P = ⊤ (no positives
+  /// yet), no negatives. Every partition is consistent.
+  explicit InferenceState(size_t num_attributes);
+
+  size_t num_attributes() const { return num_attributes_; }
+  const lat::Partition& theta_p() const { return theta_p_; }
+  const lat::Antichain& negatives() const { return negatives_; }
+  bool has_positive_example() const { return has_positive_example_; }
+
+  /// True iff `candidate` is consistent with every label so far.
+  bool IsConsistent(const lat::Partition& candidate) const;
+
+  /// Classifies a tuple by its value partition Part(t).
+  TupleClassification Classify(const lat::Partition& tuple_partition) const;
+
+  /// The knowledge gained from labeling the tuple: K = θ_P ∧ Part(t).
+  lat::Partition Knowledge(const lat::Partition& tuple_partition) const;
+
+  /// Incorporates a label. Errors (kFailedPrecondition) if the label
+  /// contradicts the current knowledge — i.e. labels a forced-positive tuple
+  /// negative or vice versa; the state is unchanged in that case. Labeling
+  /// consistently with a forced classification is accepted as a no-op
+  /// (interaction mode 1 lets users waste effort that way).
+  util::Status ApplyLabel(const lat::Partition& tuple_partition, Label label);
+
+  /// Exact number of consistent predicates, by enumerating refinements of
+  /// θ_P. Exponential; JIM_CHECK-fails if the refinement count exceeds
+  /// `limit`. For tests, the optimal strategy, and exact-entropy scoring.
+  uint64_t CountConsistent(uint64_t limit = 1 << 22) const;
+
+  /// Canonical memoization key: θ_P plus the sorted antichain.
+  std::string CanonicalKey() const;
+
+ private:
+  size_t num_attributes_;
+  lat::Partition theta_p_;
+  lat::Antichain negatives_;
+  bool has_positive_example_ = false;
+};
+
+}  // namespace jim::core
+
+#endif  // JIM_CORE_INFERENCE_STATE_H_

@@ -1,0 +1,69 @@
+#ifndef JIM_CORE_ORACLE_H_
+#define JIM_CORE_ORACLE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/example.h"
+#include "core/join_predicate.h"
+#include "relational/relation.h"
+#include "util/rng.h"
+
+namespace jim::core {
+
+/// The labeling user. The paper's own experiments use "a program that labels
+/// tuples w.r.t. a goal join query" — that program is ExactOracle below; the
+/// console UI substitutes a human; the crowd substrate wraps NoisyOracle
+/// workers behind majority voting.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// The label this user gives to `tuple`.
+  virtual Label LabelFor(const rel::Tuple& tuple) = 0;
+};
+
+/// Labels exactly according to a goal predicate (a perfectly reliable user
+/// who knows what she wants).
+class ExactOracle : public Oracle {
+ public:
+  explicit ExactOracle(JoinPredicate goal) : goal_(std::move(goal)) {}
+
+  std::string_view name() const override { return "exact"; }
+  Label LabelFor(const rel::Tuple& tuple) override {
+    return goal_.Selects(tuple) ? Label::kPositive : Label::kNegative;
+  }
+
+  const JoinPredicate& goal() const { return goal_; }
+
+ private:
+  JoinPredicate goal_;
+};
+
+/// Labels according to the goal but flips each answer independently with
+/// probability `error_rate` — a model of an unreliable crowd worker.
+class NoisyOracle : public Oracle {
+ public:
+  NoisyOracle(JoinPredicate goal, double error_rate, uint64_t seed)
+      : goal_(std::move(goal)), error_rate_(error_rate), rng_(seed) {}
+
+  std::string_view name() const override { return "noisy"; }
+  Label LabelFor(const rel::Tuple& tuple) override {
+    const Label truth =
+        goal_.Selects(tuple) ? Label::kPositive : Label::kNegative;
+    return rng_.Bernoulli(error_rate_) ? Negate(truth) : truth;
+  }
+
+  double error_rate() const { return error_rate_; }
+
+ private:
+  JoinPredicate goal_;
+  double error_rate_;
+  util::Rng rng_;
+};
+
+}  // namespace jim::core
+
+#endif  // JIM_CORE_ORACLE_H_

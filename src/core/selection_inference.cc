@@ -1,0 +1,350 @@
+#include "core/selection_inference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace jim::core {
+
+// --------------------------------------------------- SelectionJoinQuery --
+
+SelectionJoinQuery::SelectionJoinQuery(rel::Schema schema)
+    : schema_(std::move(schema)),
+      partition_(lat::Partition::Singletons(schema_.num_attributes())) {}
+
+SelectionJoinQuery::SelectionJoinQuery(rel::Schema schema,
+                                       lat::Partition partition,
+                                       std::map<size_t, rel::Value> constants)
+    : schema_(std::move(schema)),
+      partition_(std::move(partition)),
+      constants_(std::move(constants)) {
+  JIM_CHECK_EQ(schema_.num_attributes(), partition_.num_elements());
+  for (const auto& [attribute, value] : constants_) {
+    JIM_CHECK_LT(attribute, schema_.num_attributes());
+    JIM_CHECK(!value.is_null()) << "NULL cannot be a selection constant";
+  }
+}
+
+util::StatusOr<SelectionJoinQuery> SelectionJoinQuery::Parse(
+    const rel::Schema& schema, std::string_view text) {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::map<size_t, rel::Value> constants;
+
+  for (const std::string& raw : util::Split(std::string(text), '&')) {
+    const std::string_view conjunct = util::StripWhitespace(raw);
+    if (conjunct.empty()) continue;
+    const auto sides = util::Split(std::string(conjunct), '=');
+    if (sides.size() != 2) {
+      return util::InvalidArgumentError("expected one '=' in conjunct '" +
+                                        std::string(conjunct) + "'");
+    }
+    const std::string_view left = util::StripWhitespace(sides[0]);
+    const std::string_view right = util::StripWhitespace(sides[1]);
+    ASSIGN_OR_RETURN(size_t left_index, schema.IndexOf(left));
+
+    // Constant forms: 'string', integer, or decimal literal.
+    if (!right.empty() && right.front() == '\'' && right.back() == '\'' &&
+        right.size() >= 2) {
+      constants.emplace(
+          left_index,
+          rel::Value(std::string(right.substr(1, right.size() - 2))));
+      continue;
+    }
+    if (auto as_int = util::ParseInt64(right); as_int.ok()) {
+      constants.emplace(left_index, rel::Value(*as_int));
+      continue;
+    }
+    if (auto as_double = util::ParseDouble(right); as_double.ok()) {
+      constants.emplace(left_index, rel::Value(*as_double));
+      continue;
+    }
+    ASSIGN_OR_RETURN(size_t right_index, schema.IndexOf(right));
+    pairs.emplace_back(left_index, right_index);
+  }
+  ASSIGN_OR_RETURN(
+      lat::Partition partition,
+      lat::Partition::FromPairs(schema.num_attributes(), pairs));
+  return SelectionJoinQuery(schema, std::move(partition),
+                            std::move(constants));
+}
+
+bool SelectionJoinQuery::Selects(const rel::Tuple& tuple) const {
+  for (const auto& [i, j] : partition_.GeneratorPairs()) {
+    if (!tuple[i].Equals(tuple[j])) return false;
+  }
+  for (const auto& [attribute, value] : constants_) {
+    if (!tuple[attribute].Equals(value)) return false;
+  }
+  return true;
+}
+
+std::string SelectionJoinQuery::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [i, j] : partition_.GeneratorPairs()) {
+    parts.push_back(schema_.attribute(i).QualifiedName() + "\xE2\x89\x88" +
+                    schema_.attribute(j).QualifiedName());
+  }
+  for (const auto& [attribute, value] : constants_) {
+    parts.push_back(schema_.attribute(attribute).QualifiedName() + "=" +
+                    value.ToSqlLiteral());
+  }
+  if (parts.empty()) return "(no constraint)";
+  return util::Join(parts, " \xE2\x88\xA7 ");
+}
+
+// ---------------------------------------------- SelectionInferenceState --
+
+SelectionInferenceState::SelectionInferenceState(size_t num_attributes)
+    : num_attributes_(num_attributes),
+      theta_p_(lat::Partition::Top(num_attributes)) {}
+
+bool SelectionInferenceState::ConstantsSubsume(
+    const std::map<size_t, rel::Value>& small,
+    const std::map<size_t, rel::Value>& big) {
+  // small ⊆ big with matching values.
+  for (const auto& [attribute, value] : small) {
+    auto it = big.find(attribute);
+    if (it == big.end() || !it->second.Equals(value)) return false;
+  }
+  return true;
+}
+
+SelectionInferenceState::Knowledge SelectionInferenceState::KnowledgeFor(
+    const rel::Tuple& tuple) const {
+  Knowledge knowledge{theta_p_.Meet(TuplePartition(tuple)), {}};
+  if (!constants_p_.has_value()) {
+    // No positive yet: the live constants are exactly the tuple's non-null
+    // values.
+    for (size_t a = 0; a < tuple.size(); ++a) {
+      if (!tuple[a].is_null()) knowledge.constants.emplace(a, tuple[a]);
+    }
+  } else {
+    for (const auto& [attribute, value] : *constants_p_) {
+      if (tuple[attribute].Equals(value)) {
+        knowledge.constants.emplace(attribute, value);
+      }
+    }
+  }
+  return knowledge;
+}
+
+bool SelectionInferenceState::IsConsistent(
+    const lat::Partition& theta,
+    const std::map<size_t, rel::Value>& constants) const {
+  if (!theta.Refines(theta_p_)) return false;
+  if (constants_p_.has_value() &&
+      !ConstantsSubsume(constants, *constants_p_)) {
+    return false;
+  }
+  for (const Forbidden& zone : forbidden_) {
+    if (theta.Refines(zone.partition) &&
+        ConstantsSubsume(constants, zone.constants)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TupleClassification SelectionInferenceState::Classify(
+    const rel::Tuple& tuple) const {
+  JIM_CHECK_EQ(tuple.size(), num_attributes_);
+  // Forced positive ⇔ the maximal consistent hypothesis selects the tuple
+  // (all weaker hypotheses then select it too). Without a positive example
+  // the formal maximum is unrealizable and nothing is forced positive.
+  if (constants_p_.has_value()) {
+    const lat::Partition part = TuplePartition(tuple);
+    bool max_selects = theta_p_.Refines(part);
+    if (max_selects) {
+      for (const auto& [attribute, value] : *constants_p_) {
+        if (!tuple[attribute].Equals(value)) {
+          max_selects = false;
+          break;
+        }
+      }
+    }
+    if (max_selects) return TupleClassification::kForcedPositive;
+  }
+  const Knowledge knowledge = KnowledgeFor(tuple);
+  for (const Forbidden& zone : forbidden_) {
+    if (knowledge.partition.Refines(zone.partition) &&
+        ConstantsSubsume(knowledge.constants, zone.constants)) {
+      return TupleClassification::kForcedNegative;
+    }
+  }
+  return TupleClassification::kInformative;
+}
+
+util::Status SelectionInferenceState::ApplyLabel(const rel::Tuple& tuple,
+                                                 Label label) {
+  const TupleClassification classification = Classify(tuple);
+  if (label == Label::kPositive) {
+    if (classification == TupleClassification::kForcedNegative) {
+      return util::FailedPreconditionError(
+          "positive label contradicts earlier labels");
+    }
+    if (classification == TupleClassification::kForcedPositive) {
+      return util::OkStatus();
+    }
+    const Knowledge knowledge = KnowledgeFor(tuple);
+    theta_p_ = knowledge.partition;
+    constants_p_ = knowledge.constants;
+    // Restrict forbidden zones below the new maximum and drop dominated
+    // ones.
+    std::vector<Forbidden> restricted;
+    for (Forbidden& zone : forbidden_) {
+      Forbidden next{zone.partition.Meet(theta_p_), {}};
+      for (const auto& [attribute, value] : zone.constants) {
+        auto it = constants_p_->find(attribute);
+        if (it != constants_p_->end() && it->second.Equals(value)) {
+          next.constants.emplace(attribute, value);
+        }
+      }
+      bool dominated = false;
+      for (const Forbidden& other : restricted) {
+        if (next.partition.Refines(other.partition) &&
+            ConstantsSubsume(next.constants, other.constants)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) restricted.push_back(std::move(next));
+    }
+    forbidden_ = std::move(restricted);
+    return util::OkStatus();
+  }
+  // Negative.
+  if (classification == TupleClassification::kForcedPositive) {
+    return util::FailedPreconditionError(
+        "negative label contradicts earlier labels");
+  }
+  if (classification == TupleClassification::kForcedNegative) {
+    return util::OkStatus();
+  }
+  Forbidden zone{KnowledgeFor(tuple).partition, {}};
+  zone.constants = KnowledgeFor(tuple).constants;
+  // Drop members the new zone dominates.
+  forbidden_.erase(
+      std::remove_if(forbidden_.begin(), forbidden_.end(),
+                     [&zone](const Forbidden& other) {
+                       return other.partition.Refines(zone.partition) &&
+                              ConstantsSubsume(other.constants,
+                                               zone.constants);
+                     }),
+      forbidden_.end());
+  forbidden_.push_back(std::move(zone));
+  return util::OkStatus();
+}
+
+util::StatusOr<SelectionJoinQuery> SelectionInferenceState::Result(
+    const rel::Schema& schema) const {
+  if (!constants_p_.has_value()) {
+    return util::FailedPreconditionError(
+        "no positive example yet: the maximal hypothesis is degenerate");
+  }
+  return SelectionJoinQuery(schema, theta_p_, *constants_p_);
+}
+
+// ------------------------------------------------------------- Session --
+
+SelectionSessionResult RunSelectionSession(
+    const std::shared_ptr<const rel::Relation>& relation,
+    const SelectionJoinQuery& goal, uint64_t seed) {
+  SelectionInferenceState state(relation->num_attributes());
+  util::Rng rng(seed);
+  SelectionSessionResult result;
+
+  // Distinct rows only (identical rows are one question).
+  std::vector<size_t> distinct;
+  {
+    std::unordered_map<std::string, size_t> seen;
+    for (size_t t = 0; t < relation->num_rows(); ++t) {
+      std::string key;
+      for (const rel::Value& value : relation->row(t)) {
+        key += static_cast<char>('0' + static_cast<int>(value.type()));
+        key += value.ToString();
+        key.push_back('\x1f');
+      }
+      if (seen.emplace(std::move(key), t).second) distinct.push_back(t);
+    }
+  }
+
+  std::vector<bool> settled(distinct.size(), false);
+  while (true) {
+    // Reclassify; collect informative rows.
+    std::vector<size_t> informative;
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      if (settled[i]) continue;
+      if (state.Classify(relation->row(distinct[i])) ==
+          TupleClassification::kInformative) {
+        informative.push_back(i);
+      } else {
+        settled[i] = true;
+      }
+    }
+    if (informative.empty()) break;
+
+    // Greedy lookahead over a bounded candidate sample: maximize the
+    // guaranteed (worst-answer) number of rows leaving the pool.
+    const size_t cap = std::min<size_t>(informative.size(), 32);
+    size_t best_index = informative[0];
+    size_t best_score = 0;
+    for (size_t j = 0; j < cap; ++j) {
+      const size_t i = informative[j * informative.size() / cap];
+      size_t worst = SIZE_MAX;
+      for (Label answer : {Label::kPositive, Label::kNegative}) {
+        SelectionInferenceState copy = state;
+        if (!copy.ApplyLabel(relation->row(distinct[i]), answer).ok()) {
+          continue;
+        }
+        size_t pruned = 0;
+        for (size_t other : informative) {
+          if (copy.Classify(relation->row(distinct[other])) !=
+              TupleClassification::kInformative) {
+            ++pruned;
+          }
+        }
+        worst = std::min(worst, pruned);
+      }
+      if (worst != SIZE_MAX && worst > best_score) {
+        best_score = worst;
+        best_index = i;
+      }
+    }
+    (void)rng;
+
+    const rel::Tuple& asked = relation->row(distinct[best_index]);
+    const Label answer =
+        goal.Selects(asked) ? Label::kPositive : Label::kNegative;
+    JIM_CHECK_OK(state.ApplyLabel(asked, answer));
+    settled[best_index] = true;
+    ++result.interactions;
+  }
+
+  auto final_query = state.Result(relation->schema());
+  if (final_query.ok()) {
+    result.result = *std::move(final_query);
+    result.identified_goal = true;
+    for (const rel::Tuple& row : relation->rows()) {
+      if (result.result->Selects(row) != goal.Selects(row)) {
+        result.identified_goal = false;
+        break;
+      }
+    }
+  } else {
+    // No positive example exists in the instance: the empty result set is
+    // identified iff the goal also selects nothing.
+    result.identified_goal = true;
+    for (const rel::Tuple& row : relation->rows()) {
+      if (goal.Selects(row)) {
+        result.identified_goal = false;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace jim::core

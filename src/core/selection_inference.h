@@ -1,0 +1,139 @@
+#ifndef JIM_CORE_SELECTION_INFERENCE_H_
+#define JIM_CORE_SELECTION_INFERENCE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/example.h"
+#include "core/join_predicate.h"
+#include "lattice/partition.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace jim::core {
+
+/// EXTENSION beyond the demo paper: inference of join queries *with
+/// constant selections* —
+///
+///   SELECT * FROM T WHERE To = City AND Airline = 'AF'
+///
+/// The hypothesis space becomes the product of the partition lattice
+/// (equalities between attributes) and, per attribute, an optional constant
+/// constraint. The whole membership-query machinery of JIM carries over
+/// because the product is again a lattice: a query q = (θ, C) selects t iff
+/// θ ≤ Part(t) and every (attribute, constant) of C matches t. Weaker
+/// queries (coarser θ, fewer constants) select more tuples, the knowledge
+/// extracted from labels is again "meet with the maximal consistent
+/// hypothesis", and uninformative tuples gray out exactly as before.
+///
+/// The demo paper's query class is the C = ∅ slice of this space.
+class SelectionJoinQuery {
+ public:
+  /// The unconstrained query (selects everything).
+  explicit SelectionJoinQuery(rel::Schema schema);
+
+  SelectionJoinQuery(rel::Schema schema, lat::Partition partition,
+                     std::map<size_t, rel::Value> constants);
+
+  /// Parses "To=City && Airline='AF' && Discount=42". A conjunct whose
+  /// right-hand side is a single-quoted string or a number literal becomes a
+  /// constant selection; otherwise both sides must be attribute names.
+  static util::StatusOr<SelectionJoinQuery> Parse(const rel::Schema& schema,
+                                                  std::string_view text);
+
+  const rel::Schema& schema() const { return schema_; }
+  const lat::Partition& partition() const { return partition_; }
+  const std::map<size_t, rel::Value>& constants() const { return constants_; }
+
+  size_t NumJoinConstraints() const { return partition_.Rank(); }
+  size_t NumSelectionConstraints() const { return constants_.size(); }
+
+  bool Selects(const rel::Tuple& tuple) const;
+
+  /// "To≈City ∧ Airline='AF'"; "(no constraint)" when empty.
+  std::string ToString() const;
+
+  friend bool operator==(const SelectionJoinQuery& a,
+                         const SelectionJoinQuery& b) {
+    return a.partition_ == b.partition_ && a.constants_ == b.constants_;
+  }
+
+ private:
+  rel::Schema schema_;
+  lat::Partition partition_;
+  /// attribute index -> required constant. Values compare with Equals.
+  std::map<size_t, rel::Value> constants_;
+};
+
+/// Inference state over the product lattice, mirroring InferenceState:
+/// the maximal consistent hypothesis (θ_P, C_P) plus the antichain of
+/// maximal forbidden hypotheses contributed by negative examples.
+class SelectionInferenceState {
+ public:
+  explicit SelectionInferenceState(size_t num_attributes);
+
+  /// The maximal consistent hypothesis; the canonical answer on termination.
+  /// Before any positive example the partition is ⊤ and every attribute is
+  /// (formally) constant-constrained; both relax as positives arrive.
+  const lat::Partition& theta_p() const { return theta_p_; }
+  const std::optional<std::map<size_t, rel::Value>>& constants_p() const {
+    return constants_p_;
+  }
+
+  /// True iff (θ, C) is consistent with every label so far.
+  bool IsConsistent(const lat::Partition& theta,
+                    const std::map<size_t, rel::Value>& constants) const;
+
+  TupleClassification Classify(const rel::Tuple& tuple) const;
+
+  /// Incorporates a label; kFailedPrecondition on contradiction.
+  util::Status ApplyLabel(const rel::Tuple& tuple, Label label);
+
+  /// The canonical result as a query over `schema` (requires at least one
+  /// positive example, otherwise the maximal hypothesis is degenerate).
+  util::StatusOr<SelectionJoinQuery> Result(const rel::Schema& schema) const;
+
+ private:
+  /// A forbidden zone: hypotheses (θ, C) with θ ≤ partition and C ⊆
+  /// constants are ruled out.
+  struct Forbidden {
+    lat::Partition partition;
+    std::map<size_t, rel::Value> constants;
+  };
+
+  /// The knowledge pair extracted from a tuple under the current state.
+  struct Knowledge {
+    lat::Partition partition;
+    std::map<size_t, rel::Value> constants;
+  };
+  Knowledge KnowledgeFor(const rel::Tuple& tuple) const;
+
+  static bool ConstantsSubsume(const std::map<size_t, rel::Value>& small,
+                               const std::map<size_t, rel::Value>& big);
+
+  size_t num_attributes_;
+  lat::Partition theta_p_;
+  /// nullopt encodes "no positive yet": every constant map is still live
+  /// (the formal top of the selection lattice).
+  std::optional<std::map<size_t, rel::Value>> constants_p_;
+  std::vector<Forbidden> forbidden_;
+};
+
+/// Runs a complete membership-query session for a selection+join goal over
+/// `relation` with a greedy pruning-lookahead questioner. Returns the number
+/// of questions and whether the result selects exactly the goal's tuples.
+struct SelectionSessionResult {
+  size_t interactions = 0;
+  std::optional<SelectionJoinQuery> result;
+  bool identified_goal = false;
+};
+SelectionSessionResult RunSelectionSession(
+    const std::shared_ptr<const rel::Relation>& relation,
+    const SelectionJoinQuery& goal, uint64_t seed = 1);
+
+}  // namespace jim::core
+
+#endif  // JIM_CORE_SELECTION_INFERENCE_H_

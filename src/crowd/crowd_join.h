@@ -1,0 +1,64 @@
+#ifndef JIM_CROWD_CROWD_JOIN_H_
+#define JIM_CROWD_CROWD_JOIN_H_
+
+#include <memory>
+
+#include "core/join_predicate.h"
+#include "core/strategies.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace jim::crowd {
+
+/// Crowdsourcing parameters. The paper motivates JIM with crowdsourced
+/// joins: "minimizing the number of interactions entails lower financial
+/// costs" — these options model that cost.
+struct CrowdOptions {
+  /// Workers asked per membership question (majority vote; must be odd).
+  size_t workers_per_question = 3;
+  /// Probability an individual worker answers wrong (i.i.d.).
+  double worker_error_rate = 0.1;
+  /// Price paid per single worker answer, in dollars.
+  double price_per_answer = 0.05;
+  uint64_t seed = 5;
+};
+
+/// Outcome of a crowd-powered join task.
+struct CrowdRunResult {
+  /// Distinct membership questions issued to the crowd.
+  size_t questions = 0;
+  /// Individual worker answers collected (= questions × workers).
+  size_t worker_answers = 0;
+  /// Total dollars spent (= worker_answers × price_per_answer).
+  double total_cost = 0;
+  /// Majority votes that disagreed with the ground truth.
+  size_t majority_errors = 0;
+  /// Whether the final output matches the ground truth exactly
+  /// (instance-equivalent predicate, or exact pair clustering for the
+  /// baselines).
+  bool correct = false;
+};
+
+/// Probability that a majority of `workers` i.i.d. voters each erring with
+/// probability `error_rate` is wrong (the effective per-question error).
+double MajorityErrorRate(size_t workers, double error_rate);
+
+/// JIM with a crowd of workers: the strategy picks membership questions,
+/// each is answered by majority vote over `workers_per_question` noisy
+/// workers. Questions JIM prunes are never paid for — this is the paper's
+/// cost argument.
+CrowdRunResult RunCrowdJim(std::shared_ptr<const rel::Relation> relation,
+                           const core::JoinPredicate& goal,
+                           core::Strategy& strategy,
+                           const CrowdOptions& options);
+
+/// Baseline: ask the crowd about *every* tuple of the instance (no
+/// inference); the result is the set of tuples voted positive. This is what
+/// a naive crowdsourced join pays.
+CrowdRunResult RunLabelEverything(
+    std::shared_ptr<const rel::Relation> relation,
+    const core::JoinPredicate& goal, const CrowdOptions& options);
+
+}  // namespace jim::crowd
+
+#endif  // JIM_CROWD_CROWD_JOIN_H_

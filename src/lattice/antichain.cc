@@ -1,0 +1,55 @@
+#include "lattice/antichain.h"
+
+#include <algorithm>
+
+namespace jim::lat {
+
+bool Antichain::Insert(const Partition& p) {
+  for (const Partition& m : members_) {
+    if (p.Refines(m)) return false;  // dominated (or already present)
+  }
+  // Remove members now dominated by p.
+  members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                [&p](const Partition& m) {
+                                  return m.Refines(p);
+                                }),
+                 members_.end());
+  members_.push_back(p);
+  return true;
+}
+
+bool Antichain::DominatedBy(const Partition& q) const {
+  for (const Partition& m : members_) {
+    if (q.Refines(m)) return true;
+  }
+  return false;
+}
+
+bool Antichain::Contains(const Partition& q) const {
+  for (const Partition& m : members_) {
+    if (m == q) return true;
+  }
+  return false;
+}
+
+void Antichain::RestrictTo(const Partition& bound) {
+  std::vector<Partition> old = std::move(members_);
+  members_.clear();
+  for (const Partition& m : old) {
+    Insert(m.Meet(bound));
+  }
+}
+
+std::string Antichain::ToString() const {
+  std::vector<Partition> sorted = members_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "[";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sorted[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace jim::lat

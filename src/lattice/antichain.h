@@ -1,0 +1,50 @@
+#ifndef JIM_LATTICE_ANTICHAIN_H_
+#define JIM_LATTICE_ANTICHAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/partition.h"
+
+namespace jim::lat {
+
+/// A set of pairwise-incomparable partitions, maintained as the *maximal*
+/// elements of everything inserted (under the refinement order ≤).
+///
+/// The inference engine uses one antichain to represent the negative
+/// examples: a candidate predicate θ is ruled out iff θ ≤ M for some member
+/// M. Only maximal forbidden partitions matter, so dominated insertions are
+/// absorbed.
+class Antichain {
+ public:
+  Antichain() = default;
+
+  /// Inserts `p`, keeping only maximal elements. Returns true if the
+  /// antichain changed (p was not already dominated by a member).
+  bool Insert(const Partition& p);
+
+  /// True iff q ≤ m for some member m (q is "covered"/forbidden).
+  bool DominatedBy(const Partition& q) const;
+
+  /// True iff q is a member.
+  bool Contains(const Partition& q) const;
+
+  /// Drops members that are not ≤ `bound`, replacing each with its meet with
+  /// `bound` when that meet is still maximal. Called when θ_P shrinks: only
+  /// the part of a forbidden zone below the new θ_P remains relevant.
+  void RestrictTo(const Partition& bound);
+
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+  const std::vector<Partition>& members() const { return members_; }
+
+  /// Canonical rendering (members sorted by RGS), usable as a memo key.
+  std::string ToString() const;
+
+ private:
+  std::vector<Partition> members_;
+};
+
+}  // namespace jim::lat
+
+#endif  // JIM_LATTICE_ANTICHAIN_H_

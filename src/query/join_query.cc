@@ -1,0 +1,148 @@
+#include "query/join_query.h"
+
+#include <algorithm>
+#include <map>
+
+#include "relational/join.h"
+#include "relational/operators.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jim::query {
+
+std::string JoinQuery::AliasFor(size_t relation_index) const {
+  const std::string& name = relations_[relation_index];
+  size_t occurrence = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i] == name) {
+      if (i < relation_index) ++occurrence;
+      ++total;
+    }
+  }
+  if (total == 1) return name;
+  return util::StrFormat("%s_%zu", name.c_str(), occurrence + 1);
+}
+
+util::StatusOr<std::string> JoinQuery::ToSql(
+    const rel::Catalog& catalog) const {
+  if (relations_.empty()) {
+    return util::FailedPreconditionError("query references no relations");
+  }
+  std::vector<std::string> from_parts;
+  std::vector<const rel::Relation*> resolved;
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    ASSIGN_OR_RETURN(const rel::Relation* relation,
+                     catalog.Get(relations_[i]));
+    resolved.push_back(relation);
+    const std::string alias = AliasFor(i);
+    from_parts.push_back(alias == relations_[i]
+                             ? relations_[i]
+                             : relations_[i] + " AS " + alias);
+  }
+
+  std::string sql = "SELECT * FROM " + util::Join(from_parts, ", ");
+  if (equalities_.empty()) {
+    return sql + ";";
+  }
+  std::vector<std::string> conditions;
+  for (const auto& [a, b] : equalities_) {
+    if (a.relation_index >= resolved.size() ||
+        b.relation_index >= resolved.size()) {
+      return util::OutOfRangeError("equality references unknown relation");
+    }
+    const rel::Relation* ra = resolved[a.relation_index];
+    const rel::Relation* rb = resolved[b.relation_index];
+    if (a.column_index >= ra->num_attributes() ||
+        b.column_index >= rb->num_attributes()) {
+      return util::OutOfRangeError("equality references unknown column");
+    }
+    conditions.push_back(AliasFor(a.relation_index) + "." +
+                         ra->schema().attribute(a.column_index).name + " = " +
+                         AliasFor(b.relation_index) + "." +
+                         rb->schema().attribute(b.column_index).name);
+  }
+  return sql + " WHERE " + util::Join(conditions, " AND ") + ";";
+}
+
+util::StatusOr<rel::Relation> JoinQuery::Evaluate(
+    const rel::Catalog& catalog) const {
+  if (relations_.empty()) {
+    return util::FailedPreconditionError("query references no relations");
+  }
+
+  // Resolve and alias-qualify each occurrence.
+  std::vector<rel::Relation> inputs;
+  std::vector<size_t> column_offset(relations_.size(), 0);
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    ASSIGN_OR_RETURN(const rel::Relation* relation,
+                     catalog.Get(relations_[i]));
+    inputs.push_back(rel::RenameRelation(*relation, AliasFor(i)));
+  }
+
+  // Left-deep pipeline: join inputs[0..k] then fold in inputs[k+1] using the
+  // equalities that connect it to the already-joined prefix as hash-join
+  // keys; equalities within the suffix wait for their turn; equalities
+  // entirely inside one relation become filters.
+  size_t offset = 0;
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    column_offset[i] = offset;
+    offset += inputs[i].num_attributes();
+  }
+
+  auto flat = [&](const QualifiedColumn& column) {
+    return column_offset[column.relation_index] + column.column_index;
+  };
+
+  rel::Relation joined = inputs[0];
+  size_t joined_width = inputs[0].num_attributes();
+  std::vector<bool> merged(relations_.size(), false);
+  merged[0] = true;
+
+  std::vector<ColumnEquality> pending = equalities_;
+  for (size_t next = 1; next < relations_.size(); ++next) {
+    // Keys connecting the prefix (already joined) to `next`.
+    rel::JoinKeys keys;
+    std::vector<ColumnEquality> still_pending;
+    for (const ColumnEquality& eq : pending) {
+      const auto& [a, b] = eq;
+      const bool a_in_prefix = a.relation_index < next;
+      const bool b_in_prefix = b.relation_index < next;
+      if (a_in_prefix && b.relation_index == next) {
+        keys.emplace_back(flat(a), b.column_index);
+      } else if (b_in_prefix && a.relation_index == next) {
+        keys.emplace_back(flat(b), a.column_index);
+      } else {
+        still_pending.push_back(eq);
+      }
+    }
+    pending = std::move(still_pending);
+    ASSIGN_OR_RETURN(
+        joined,
+        rel::HashJoin(joined, inputs[next], keys,
+                      rel::JoinOptions::Named("join")));
+    joined_width += inputs[next].num_attributes();
+    merged[next] = true;
+  }
+  (void)joined_width;
+
+  // Residual equalities (inside a single relation, or diagonal pairs the
+  // pipeline could not use as keys) become a filter.
+  if (!pending.empty()) {
+    std::vector<std::pair<size_t, size_t>> filters;
+    filters.reserve(pending.size());
+    for (const ColumnEquality& eq : pending) {
+      filters.emplace_back(flat(eq.first), flat(eq.second));
+    }
+    joined = rel::Select(joined, [&filters](const rel::Tuple& row) {
+      for (const auto& [x, y] : filters) {
+        if (!row[x].Equals(row[y])) return false;
+      }
+      return true;
+    });
+  }
+  joined.set_name("result");
+  return joined;
+}
+
+}  // namespace jim::query

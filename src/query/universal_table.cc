@@ -1,0 +1,112 @@
+#include "query/universal_table.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "relational/join.h"
+#include "relational/operators.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jim::query {
+
+util::StatusOr<UniversalTable> UniversalTable::Build(
+    const rel::Catalog& catalog,
+    const std::vector<std::string>& relation_names,
+    const UniversalTableOptions& options) {
+  if (relation_names.empty()) {
+    return util::InvalidArgumentError(
+        "universal table needs at least one relation");
+  }
+
+  // Resolve relations and compute occurrence aliases.
+  std::vector<const rel::Relation*> resolved;
+  std::vector<std::string> aliases;
+  for (size_t i = 0; i < relation_names.size(); ++i) {
+    ASSIGN_OR_RETURN(const rel::Relation* relation,
+                     catalog.Get(relation_names[i]));
+    resolved.push_back(relation);
+    size_t total = 0;
+    size_t occurrence = 0;
+    for (size_t j = 0; j < relation_names.size(); ++j) {
+      if (relation_names[j] == relation_names[i]) {
+        if (j < i) ++occurrence;
+        ++total;
+      }
+    }
+    aliases.push_back(total == 1 ? relation_names[i]
+                                 : util::StrFormat("%s_%zu",
+                                                   relation_names[i].c_str(),
+                                                   occurrence + 1));
+  }
+
+  UniversalTable table;
+  table.relation_names_ = relation_names;
+
+  // Provenance, in schema order.
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    for (size_t c = 0; c < resolved[i]->num_attributes(); ++c) {
+      table.provenance_.push_back(
+          Provenance{i, relation_names[i], c});
+    }
+  }
+
+  // Full product size (with overflow guard).
+  size_t full_size = 1;
+  for (const rel::Relation* relation : resolved) {
+    if (relation->num_rows() != 0 &&
+        full_size > std::numeric_limits<size_t>::max() / relation->num_rows()) {
+      full_size = std::numeric_limits<size_t>::max();
+      break;
+    }
+    full_size *= relation->num_rows();
+  }
+  table.full_product_size_ = full_size;
+
+  util::Rng rng(options.seed);
+  const size_t cap = options.sample_cap == 0
+                         ? std::numeric_limits<size_t>::max()
+                         : options.sample_cap;
+
+  // Fold the product left to right. To honor the cap without materializing
+  // the full product, sample down after each step: a uniform sample of
+  // (sample of A×B) × C is not exactly a uniform sample of A×B×C, but every
+  // row is a genuine candidate tuple, which is all inference needs (the
+  // sample only determines which membership questions *can* be asked).
+  rel::Relation product =
+      rel::RenameRelation(*resolved[0], aliases[0]);
+  for (size_t i = 1; i < resolved.size(); ++i) {
+    const rel::Relation next = rel::RenameRelation(*resolved[i], aliases[i]);
+    ASSIGN_OR_RETURN(
+        product,
+        rel::SampledCrossProduct(product, next, cap, rng,
+                                 rel::JoinOptions::Named("universal")));
+  }
+  table.is_sampled_ = product.num_rows() < full_size;
+
+  if (options.deduplicate) {
+    product.DeduplicateRows();
+  }
+  product.set_name("universal");
+  table.relation_ =
+      std::make_shared<const rel::Relation>(std::move(product));
+
+  JIM_CHECK_EQ(table.relation_->num_attributes(), table.provenance_.size());
+  return table;
+}
+
+JoinQuery UniversalTable::ToJoinQuery(
+    const core::JoinPredicate& predicate) const {
+  JIM_CHECK_EQ(predicate.num_attributes(), provenance_.size());
+  JoinQuery query(relation_names_);
+  for (const auto& [i, j] : predicate.partition().GeneratorPairs()) {
+    const Provenance& a = provenance_[i];
+    const Provenance& b = provenance_[j];
+    query.AddEquality(
+        QualifiedColumn{a.relation_occurrence, a.column_index},
+        QualifiedColumn{b.relation_occurrence, b.column_index});
+  }
+  return query;
+}
+
+}  // namespace jim::query

@@ -1,0 +1,46 @@
+#include "relational/catalog.h"
+
+namespace jim::rel {
+
+util::Status Catalog::Add(Relation relation) {
+  const std::string name = relation.name();
+  if (name.empty()) {
+    return util::InvalidArgumentError("relation must be named");
+  }
+  auto [it, inserted] = relations_.emplace(name, std::move(relation));
+  if (!inserted) {
+    return util::AlreadyExistsError("relation '" + name + "' already exists");
+  }
+  return util::OkStatus();
+}
+
+void Catalog::AddOrReplace(Relation relation) {
+  const std::string name = relation.name();
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+util::StatusOr<const Relation*> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return util::NotFoundError("no relation named '" + name + "'");
+  }
+  return &it->second;
+}
+
+util::Status Catalog::Drop(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return util::NotFoundError("no relation named '" + name + "'");
+  }
+  return util::OkStatus();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, relation] : relations_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace jim::rel

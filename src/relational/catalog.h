@@ -1,0 +1,46 @@
+#ifndef JIM_RELATIONAL_CATALOG_H_
+#define JIM_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace jim::rel {
+
+/// A named collection of relations — JIM's stand-in for a database. Supports
+/// the demo's "varying number of involved relations": the universal-table
+/// builder (src/query) pulls any subset of catalog relations into one
+/// denormalized instance.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers `relation` under its name. Errors on duplicates.
+  util::Status Add(Relation relation);
+
+  /// Replaces or inserts.
+  void AddOrReplace(Relation relation);
+
+  util::StatusOr<const Relation*> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  util::Status Drop(const std::string& name);
+
+  /// Names in lexicographic order.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return relations_.size(); }
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace jim::rel
+
+#endif  // JIM_RELATIONAL_CATALOG_H_

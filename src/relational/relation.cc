@@ -1,0 +1,102 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace jim::rel {
+
+size_t TupleHash(const Tuple& tuple) {
+  size_t seed = 0x51ab5d1fba5c931dull;
+  for (const Value& value : tuple) {
+    util::HashCombine(seed, value.Hash());
+  }
+  return seed;
+}
+
+bool TupleEquals(const Tuple& a, const Tuple& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+int TupleCompare(const Tuple& a, const Tuple& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+util::Status Relation::AddRow(Tuple row) {
+  if (row.size() != schema_.num_attributes()) {
+    return util::InvalidArgumentError(util::StrFormat(
+        "row arity %zu does not match schema arity %zu of relation '%s'",
+        row.size(), schema_.num_attributes(), name_.c_str()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != schema_.attribute(i).type) {
+      return util::InvalidArgumentError(util::StrFormat(
+          "value of type %s in column '%s' of type %s",
+          std::string(ValueTypeToString(row[i].type())).c_str(),
+          schema_.attribute(i).QualifiedName().c_str(),
+          std::string(ValueTypeToString(schema_.attribute(i).type)).c_str()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return util::OkStatus();
+}
+
+void Relation::SortRows() {
+  std::sort(rows_.begin(), rows_.end(), [](const Tuple& a, const Tuple& b) {
+    return TupleCompare(a, b) < 0;
+  });
+}
+
+void Relation::DeduplicateRows() {
+  // Representation-level equality: render values (NULL == NULL here) so that
+  // dedup treats two all-NULL rows as duplicates.
+  std::unordered_set<std::string> seen;
+  std::vector<Tuple> kept;
+  kept.reserve(rows_.size());
+  for (Tuple& row : rows_) {
+    std::string key;
+    for (const Value& value : row) {
+      key += static_cast<char>('0' + static_cast<int>(value.type()));
+      key += value.ToString();
+      key.push_back('\x1f');
+    }
+    if (seen.insert(std::move(key)).second) {
+      kept.push_back(std::move(row));
+    }
+  }
+  rows_ = std::move(kept);
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  util::TablePrinter printer(schema_.Names());
+  const size_t limit = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < limit; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(rows_[r].size());
+    for (const Value& value : rows_[r]) {
+      cells.push_back(value.ToString());
+    }
+    printer.AddRow(std::move(cells));
+  }
+  std::string out = name_.empty() ? "" : (name_ + " " + schema_.ToString() + "\n");
+  out += printer.ToString();
+  if (limit < rows_.size()) {
+    out += util::StrFormat("... (%zu more rows)\n", rows_.size() - limit);
+  }
+  return out;
+}
+
+}  // namespace jim::rel

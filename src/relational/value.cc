@@ -1,0 +1,129 @@
+#include "relational/value.h"
+
+#include <functional>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jim::rel {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case ValueType::kNull:
+      return false;  // SQL semantics: NULL = NULL is not true.
+    case ValueType::kInt64:
+      return AsInt64() == other.AsInt64();
+    case ValueType::kDouble:
+      return AsDouble() == other.AsDouble();
+    case ValueType::kString:
+      return AsString() == other.AsString();
+  }
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  if (type() != other.type()) {
+    return static_cast<int>(type()) < static_cast<int>(other.type()) ? -1 : 1;
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64: {
+      const int64_t a = AsInt64();
+      const int64_t b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      const double a = AsDouble();
+      const double b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kString:
+      return AsString().compare(other.AsString()) < 0
+                 ? -1
+                 : (AsString() == other.AsString() ? 0 : 1);
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type());
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      util::HashCombine(seed, AsInt64());
+      break;
+    case ValueType::kDouble:
+      util::HashCombine(seed, AsDouble());
+      break;
+    case ValueType::kString:
+      util::HashCombine(seed, AsString());
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return util::FormatDouble(AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (type() != ValueType::kString) return ToString();
+  std::string out = "'";
+  for (char c : AsString()) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+Value ParseValueAs(std::string_view text, ValueType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64: {
+      auto parsed = util::ParseInt64(text);
+      JIM_CHECK(parsed.ok()) << "not an int64: '" << std::string(text) << "'";
+      return Value(*parsed);
+    }
+    case ValueType::kDouble: {
+      auto parsed = util::ParseDouble(text);
+      JIM_CHECK(parsed.ok()) << "not a double: '" << std::string(text) << "'";
+      return Value(*parsed);
+    }
+    case ValueType::kString:
+      return Value(std::string(text));
+  }
+  return Value::Null();
+}
+
+}  // namespace jim::rel

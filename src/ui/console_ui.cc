@@ -1,0 +1,137 @@
+#include "ui/console_ui.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace jim::ui {
+
+namespace {
+
+constexpr const char* kGray = "\x1b[90m";
+constexpr const char* kGreen = "\x1b[32m";
+constexpr const char* kRed = "\x1b[31m";
+constexpr const char* kReset = "\x1b[0m";
+
+}  // namespace
+
+std::string RenderInstance(const core::InferenceEngine& engine,
+                           const RenderOptions& options) {
+  const rel::Relation& relation = engine.relation();
+  std::vector<std::string> header = {"#", "label"};
+  for (const std::string& name : relation.schema().Names()) {
+    header.push_back(name);
+  }
+  util::TablePrinter printer(header);
+
+  const size_t limit = std::min(options.max_rows, relation.num_rows());
+  for (size_t t = 0; t < limit; ++t) {
+    const core::TupleStatus status = engine.tuple_status(t);
+    std::string marker;
+    const char* color = nullptr;
+    switch (status) {
+      case core::TupleStatus::kInformative:
+        marker = "?";
+        break;
+      case core::TupleStatus::kLabeledPositive:
+        marker = "+";
+        color = kGreen;
+        break;
+      case core::TupleStatus::kLabeledNegative:
+        marker = "-";
+        color = kRed;
+        break;
+      case core::TupleStatus::kForcedPositive:
+        marker = "(+)";
+        color = kGray;
+        break;
+      case core::TupleStatus::kForcedNegative:
+        marker = "(-)";
+        color = kGray;
+        break;
+    }
+    std::vector<std::string> row;
+    row.push_back(std::to_string(t + 1));
+    row.push_back(marker);
+    for (const rel::Value& value : relation.row(t)) {
+      row.push_back(value.ToString());
+    }
+    if (options.color && color != nullptr) {
+      for (std::string& cell : row) {
+        cell = std::string(color) + cell + kReset;
+      }
+    }
+    printer.AddRow(std::move(row));
+  }
+  std::string out = printer.ToString();
+  if (limit < relation.num_rows()) {
+    out += util::StrFormat("... (%zu more tuples)\n",
+                           relation.num_rows() - limit);
+  }
+  return out;
+}
+
+std::string RenderTuple(const rel::Relation& relation, size_t tuple_index) {
+  std::vector<std::string> parts;
+  const auto names = relation.schema().Names();
+  for (size_t a = 0; a < relation.num_attributes(); ++a) {
+    parts.push_back(names[a] + "=" + relation.row(tuple_index)[a].ToString());
+  }
+  return util::Join(parts, ", ");
+}
+
+std::string RenderProgress(const core::InferenceEngine& engine) {
+  const auto stats = engine.GetStats();
+  const double total = std::max<size_t>(1, stats.num_tuples);
+  auto percent = [&](size_t part) {
+    return util::StrFormat("%.1f%%", 100.0 * static_cast<double>(part) / total);
+  };
+  std::ostringstream out;
+  out << "progress: " << stats.explicitly_labeled_tuples << " of "
+      << stats.num_tuples << " tuples labeled ("
+      << percent(stats.explicitly_labeled_tuples) << "), "
+      << stats.forced_positive_tuples + stats.forced_negative_tuples
+      << " grayed out as uninformative ("
+      << percent(stats.forced_positive_tuples + stats.forced_negative_tuples)
+      << "), " << stats.informative_tuples << " still informative ("
+      << percent(stats.informative_tuples) << "); interactions so far: "
+      << stats.interactions;
+  if (stats.wasted_interactions > 0) {
+    out << " (" << stats.wasted_interactions << " wasted)";
+  }
+  return out.str();
+}
+
+std::string RenderSavingsChart(
+    const std::vector<std::pair<std::string, size_t>>& interactions) {
+  if (interactions.empty()) return "";
+  std::vector<std::pair<std::string, double>> bars;
+  size_t best_index = 0;
+  size_t worst_index = 0;
+  for (size_t i = 0; i < interactions.size(); ++i) {
+    bars.emplace_back(interactions[i].first,
+                      static_cast<double>(interactions[i].second));
+    if (interactions[i].second < interactions[best_index].second) {
+      best_index = i;
+    }
+    if (interactions[i].second > interactions[worst_index].second) {
+      worst_index = i;
+    }
+  }
+  std::string out = util::BarChart(bars);
+  const size_t best = interactions[best_index].second;
+  const size_t worst = interactions[worst_index].second;
+  if (worst > best && worst > 0) {
+    out += util::StrFormat(
+        "  '%s' (%zu interactions) saves %.0f%% of the labeling effort of "
+        "'%s' (%zu)\n",
+        interactions[best_index].first.c_str(), best,
+        100.0 * (1.0 - static_cast<double>(best) / static_cast<double>(worst)),
+        interactions[worst_index].first.c_str(), worst);
+  }
+  return out;
+}
+
+}  // namespace jim::ui

@@ -1,0 +1,41 @@
+#ifndef JIM_UI_CONSOLE_UI_H_
+#define JIM_UI_CONSOLE_UI_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/session.h"
+
+namespace jim::ui {
+
+/// Rendering options for the console front end.
+struct RenderOptions {
+  /// Emit ANSI color codes (gray for uninformative rows, green/red labels).
+  bool color = true;
+  /// Cap rows rendered in instance tables.
+  size_t max_rows = 60;
+};
+
+/// Renders the instance as the demo shows it (Figure 3): one row per tuple
+/// with a status marker — '+'/'−' for explicit labels, grayed rows for
+/// tuples pruned as uninformative, '?' for still-informative ones.
+std::string RenderInstance(const core::InferenceEngine& engine,
+                           const RenderOptions& options = {});
+
+/// One tuple as "From=Paris, To=Lille, ..." for question prompts.
+std::string RenderTuple(const rel::Relation& relation, size_t tuple_index);
+
+/// The progress box the demo keeps on screen: "labeled k of N tuples (x%),
+/// grayed out m (y%), remaining ...".
+std::string RenderProgress(const core::InferenceEngine& engine);
+
+/// Figure-4-style bar chart: interaction counts per interaction mode or per
+/// strategy, with the relative savings of the best entry.
+std::string RenderSavingsChart(
+    const std::vector<std::pair<std::string, size_t>>& interactions);
+
+}  // namespace jim::ui
+
+#endif  // JIM_UI_CONSOLE_UI_H_

@@ -1,0 +1,48 @@
+#ifndef JIM_UI_DEMO_RUNNER_H_
+#define JIM_UI_DEMO_RUNNER_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/jim.h"
+#include "ui/console_ui.h"
+#include "util/status.h"
+
+namespace jim::ui {
+
+/// Options for an interactive console demo session.
+struct DemoOptions {
+  core::InteractionMode mode = core::InteractionMode::kMostInformative;
+  std::string strategy = "lookahead-entropy";
+  size_t top_k = 5;
+  RenderOptions render;
+  /// When set, a simulated user answers from this goal instead of stdin —
+  /// lets the demo run unattended (`--auto` in the examples) and lets tests
+  /// drive the full UI loop.
+  std::unique_ptr<core::Oracle> auto_oracle;
+  uint64_t seed = 11;
+};
+
+/// Drives one inference session over `relation` through the console:
+/// renders the instance, asks membership questions (reading "+", "-",
+/// "t"=show table, "p"=progress, "q"=quit from `in`), propagates labels,
+/// and prints the inferred join query at the end.
+///
+/// Implements all four interaction types of the demo (Figure 3):
+///   mode 1/2: the user picks "<row> +"/"<row> -" herself (mode 2 grays out
+///             uninformative rows in the rendered table);
+///   mode 3:   JIM proposes the top-k informative tuples, the user answers
+///             "<option> +"/"<option> -";
+///   mode 4:   JIM proposes the single most informative tuple, the user
+///             answers "+"/"-".
+///
+/// Returns the inferred predicate, or an error if input ends prematurely /
+/// the strategy name is unknown.
+util::StatusOr<core::JoinPredicate> RunConsoleDemo(
+    std::shared_ptr<const rel::Relation> relation, DemoOptions options,
+    std::istream& in, std::ostream& out);
+
+}  // namespace jim::ui
+
+#endif  // JIM_UI_DEMO_RUNNER_H_

@@ -1,0 +1,15 @@
+#include "util/bitset.h"
+
+#include "util/hash.h"
+
+namespace jim::util {
+
+size_t DynamicBitset::Hash() const {
+  size_t seed = size_;
+  for (uint64_t w : words_) {
+    HashCombine(seed, w);
+  }
+  return seed;
+}
+
+}  // namespace jim::util

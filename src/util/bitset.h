@@ -1,0 +1,177 @@
+#ifndef JIM_UTIL_BITSET_H_
+#define JIM_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace jim::util {
+
+/// Fixed-size-at-construction bitset with set-algebra operations.
+///
+/// Used by the inference engine to represent sets of tuple classes (selected
+/// sets, pruned sets) where std::vector<bool> is too slow for the heavy
+/// subset/intersection traffic of lookahead strategies.
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+  explicit DynamicBitset(size_t size, bool initial = false)
+      : size_(size),
+        words_((size + kBitsPerWord - 1) / kBitsPerWord,
+               initial ? ~uint64_t{0} : 0) {
+    ClearPadding();
+  }
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t pos) const {
+    JIM_DCHECK(pos < size_);
+    return (words_[pos / kBitsPerWord] >> (pos % kBitsPerWord)) & 1u;
+  }
+
+  void Set(size_t pos, bool value = true) {
+    JIM_DCHECK(pos < size_);
+    const uint64_t mask = uint64_t{1} << (pos % kBitsPerWord);
+    if (value) {
+      words_[pos / kBitsPerWord] |= mask;
+    } else {
+      words_[pos / kBitsPerWord] &= ~mask;
+    }
+  }
+
+  void Reset(size_t pos) { Set(pos, false); }
+
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    ClearPadding();
+  }
+  void ResetAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  bool None() const { return !Any(); }
+
+  /// Index of the first set bit, or size() if none.
+  size_t FindFirst() const { return FindNext(0); }
+
+  /// Index of the first set bit at position >= from, or size() if none.
+  size_t FindNext(size_t from) const {
+    if (from >= size_) return size_;
+    size_t word_index = from / kBitsPerWord;
+    uint64_t word = words_[word_index] & (~uint64_t{0} << (from % kBitsPerWord));
+    while (true) {
+      if (word != 0) {
+        return word_index * kBitsPerWord +
+               static_cast<size_t>(__builtin_ctzll(word));
+      }
+      if (++word_index >= words_.size()) return size_;
+      word = words_[word_index];
+    }
+  }
+
+  DynamicBitset& operator&=(const DynamicBitset& other) {
+    JIM_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    JIM_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+  DynamicBitset& operator^=(const DynamicBitset& other) {
+    JIM_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    return *this;
+  }
+
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator^(DynamicBitset a, const DynamicBitset& b) {
+    a ^= b;
+    return a;
+  }
+
+  /// True iff every set bit of *this is also set in `other`.
+  bool IsSubsetOf(const DynamicBitset& other) const {
+    JIM_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  bool Intersects(const DynamicBitset& other) const {
+    JIM_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// All set positions, ascending.
+  std::vector<size_t> ToVector() const {
+    std::vector<size_t> out;
+    out.reserve(Count());
+    for (size_t i = FindFirst(); i < size_; i = FindNext(i + 1)) {
+      out.push_back(i);
+    }
+    return out;
+  }
+
+  /// "0101..." with position 0 leftmost.
+  std::string ToString() const {
+    std::string text(size_, '0');
+    for (size_t i = 0; i < size_; ++i) {
+      if (Test(i)) text[i] = '1';
+    }
+    return text;
+  }
+
+  /// Hash over the word representation.
+  size_t Hash() const;
+
+ private:
+  static constexpr size_t kBitsPerWord = 64;
+
+  // Bits past `size_` in the last word must stay zero so Count/== are exact.
+  void ClearPadding() {
+    const size_t used = size_ % kBitsPerWord;
+    if (used != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << used) - 1;
+    }
+  }
+
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace jim::util
+
+#endif  // JIM_UTIL_BITSET_H_

@@ -1,0 +1,29 @@
+#ifndef JIM_UTIL_HASH_H_
+#define JIM_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace jim::util {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
+template <typename T>
+void HashCombine(size_t& seed, const T& value) {
+  seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ull + (seed << 12) +
+          (seed >> 4);
+}
+
+/// Hashes a range of elements order-sensitively.
+template <typename It>
+size_t HashRange(It first, It last) {
+  size_t seed = 0xcbf29ce484222325ull;
+  for (; first != last; ++first) {
+    HashCombine(seed, *first);
+  }
+  return seed;
+}
+
+}  // namespace jim::util
+
+#endif  // JIM_UTIL_HASH_H_

@@ -1,0 +1,95 @@
+#ifndef JIM_UTIL_LOGGING_H_
+#define JIM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace jim::util {
+
+/// Severity levels for the process-wide logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum severity that is emitted to stderr. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it on destruction.
+/// Not for direct use; see the JIM_LOG / JIM_CHECK macros below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when the log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed expression into void so the ?: in JIM_CHECK type-checks.
+/// operator& binds looser than operator<<, so the whole chain runs first.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace jim::util
+
+/// Streams a message at the given severity: JIM_LOG(kInfo) << "hello";
+/// kFatal aborts the process after emitting the message.
+#define JIM_LOG(severity)                                           \
+  ::jim::util::internal_logging::LogMessage(                        \
+      ::jim::util::LogLevel::severity, __FILE__, __LINE__)          \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Always on (release too):
+/// invariant violations in the inference engine are programming errors and
+/// must not silently corrupt results. Additional context can be streamed:
+///   JIM_CHECK(n > 0) << "instance is empty";
+#define JIM_CHECK(condition)                                            \
+  (condition) ? (void)0                                                 \
+              : ::jim::util::internal_logging::LogMessageVoidify() &    \
+                    ::jim::util::internal_logging::LogMessage(          \
+                        ::jim::util::LogLevel::kFatal, __FILE__,        \
+                        __LINE__)                                       \
+                        .stream()                                       \
+                    << "Check failed: " #condition " "
+
+#define JIM_CHECK_OK(expr)                                             \
+  do {                                                                 \
+    const auto& _s = (expr);                                           \
+    JIM_CHECK(_s.ok()) << _s.ToString();                               \
+  } while (false)
+
+#define JIM_CHECK_EQ(a, b) JIM_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define JIM_CHECK_NE(a, b) JIM_CHECK((a) != (b))
+#define JIM_CHECK_LT(a, b) JIM_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define JIM_CHECK_LE(a, b) JIM_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define JIM_CHECK_GT(a, b) JIM_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define JIM_CHECK_GE(a, b) JIM_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define JIM_DCHECK(condition) \
+  while (false) JIM_CHECK(condition)
+#else
+#define JIM_DCHECK(condition) JIM_CHECK(condition)
+#endif
+
+#endif  // JIM_UTIL_LOGGING_H_

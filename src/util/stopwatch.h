@@ -1,0 +1,34 @@
+#ifndef JIM_UTIL_STOPWATCH_H_
+#define JIM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace jim::util {
+
+/// Monotonic wall-clock stopwatch used by session tracing and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace jim::util
+
+#endif  // JIM_UTIL_STOPWATCH_H_

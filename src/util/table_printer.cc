@@ -1,0 +1,96 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jim::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)),
+      alignments_(header_.size(), Align::kLeft) {}
+
+void TablePrinter::SetAlignments(std::vector<Align> alignments) {
+  JIM_CHECK_EQ(alignments.size(), header_.size());
+  alignments_ = std::move(alignments);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  JIM_CHECK_EQ(row.size(), header_.size());
+  Row r;
+  r.cells = std::move(row);
+  r.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(r));
+}
+
+void TablePrinter::AddSeparator() { pending_separator_ = true; }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&]() {
+    std::string line = "+";
+    for (size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const size_t pad = widths[c] - cells[c].size();
+      line += " ";
+      if (alignments_[c] == Align::kRight) {
+        line += std::string(pad, ' ') + cells[c];
+      } else {
+        line += cells[c] + std::string(pad, ' ');
+      }
+      line += " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = rule();
+  out += format_row(header_);
+  out += rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) out += rule();
+    out += format_row(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string BarChart(const std::vector<std::pair<std::string, double>>& bars,
+                     size_t max_width) {
+  double max_value = 0;
+  size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream out;
+  for (const auto& [label, value] : bars) {
+    const size_t len =
+        max_value > 0
+            ? static_cast<size_t>(value / max_value * static_cast<double>(max_width) + 0.5)
+            : 0;
+    out << "  " << label << std::string(label_width - label.size(), ' ')
+        << " |" << std::string(len, '#') << " " << FormatDouble(value) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace jim::util

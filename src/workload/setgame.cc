@@ -1,0 +1,87 @@
+#include "workload/setgame.h"
+
+#include <algorithm>
+
+#include "relational/join.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jim::workload {
+
+namespace {
+
+const char* kNumbers[] = {"one", "two", "three"};
+const char* kSymbols[] = {"diamond", "squiggle", "oval"};
+const char* kShadings[] = {"solid", "striped", "open"};
+const char* kColors[] = {"red", "green", "purple"};
+const char* kFeatures[] = {"Number", "Symbol", "Shading", "Color"};
+
+}  // namespace
+
+rel::Relation AllSetCards() {
+  rel::Relation cards{
+      "Cards",
+      rel::Schema::FromNames({"Number", "Symbol", "Shading", "Color"})};
+  using rel::Value;
+  for (const char* number : kNumbers) {
+    for (const char* symbol : kSymbols) {
+      for (const char* shading : kShadings) {
+        for (const char* color : kColors) {
+          JIM_CHECK_OK(cards.AddRow({Value(number), Value(symbol),
+                                     Value(shading), Value(color)}));
+        }
+      }
+    }
+  }
+  JIM_CHECK_EQ(cards.num_rows(), size_t{81});
+  return cards;
+}
+
+std::shared_ptr<const rel::Relation> SetPairInstance(size_t sample_size,
+                                                     util::Rng& rng) {
+  const rel::Relation cards = AllSetCards();
+  const rel::JoinOptions options{.left_qualifier = "Left",
+                                 .right_qualifier = "Right",
+                                 .result_name = "CardPairs"};
+  util::StatusOr<rel::Relation> pairs =
+      (sample_size == 0 || sample_size >= 81 * 81)
+          ? rel::CrossProduct(cards, cards, options)
+          : rel::SampledCrossProduct(cards, cards, sample_size, rng, options);
+  JIM_CHECK(pairs.ok());
+  return std::make_shared<const rel::Relation>(*std::move(pairs));
+}
+
+core::JoinPredicate SameColorAndShadingGoal(const rel::Schema& pair_schema) {
+  auto parsed = core::JoinPredicate::Parse(
+      pair_schema, "Left.Color=Right.Color && Left.Shading=Right.Shading");
+  JIM_CHECK(parsed.ok());
+  return *std::move(parsed);
+}
+
+std::vector<SetGoal> AllFeatureMatchGoals(const rel::Schema& pair_schema) {
+  std::vector<SetGoal> goals;
+  for (unsigned mask = 1; mask < 16; ++mask) {
+    std::vector<std::string> conjuncts;
+    std::vector<std::string> feature_names;
+    for (unsigned f = 0; f < 4; ++f) {
+      if ((mask >> f) & 1) {
+        conjuncts.push_back(util::StrFormat("Left.%s=Right.%s", kFeatures[f],
+                                            kFeatures[f]));
+        feature_names.push_back(kFeatures[f]);
+      }
+    }
+    auto parsed =
+        core::JoinPredicate::Parse(pair_schema, util::Join(conjuncts, " && "));
+    JIM_CHECK(parsed.ok());
+    goals.push_back(
+        SetGoal{"same " + util::Join(feature_names, "+"), *std::move(parsed)});
+  }
+  std::stable_sort(goals.begin(), goals.end(),
+                   [](const SetGoal& a, const SetGoal& b) {
+                     return a.predicate.NumConstraints() <
+                            b.predicate.NumConstraints();
+                   });
+  return goals;
+}
+
+}  // namespace jim::workload

@@ -1,0 +1,47 @@
+#ifndef JIM_WORKLOAD_SETGAME_H_
+#define JIM_WORKLOAD_SETGAME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/join_predicate.h"
+#include "relational/relation.h"
+#include "util/rng.h"
+
+namespace jim::workload {
+
+/// The last part of the demonstration: "Joining sets of pictures" — the 81
+/// cards of the game Set¹, which "vary in four features: number (one, two,
+/// or three), symbol (diamond, squiggle, oval), shading (solid, striped, or
+/// open), and color (red, green, or purple)". JIM infers joins between
+/// tagged pictures by treating each card's tags as a tuple of four
+/// attributes and each *pair* of cards as one candidate tuple.
+///
+/// ¹ http://www.setgame.com/set (paper footnote 1)
+
+/// The full deck: 81 rows over (Number, Symbol, Shading, Color), all STRING.
+rel::Relation AllSetCards();
+
+/// The pair instance Left × Right: 81 × 81 = 6561 candidate tuples over
+/// 8 attributes (Left.Number, ..., Right.Color). When `sample_size` > 0 and
+/// smaller than 6561, a uniform sample is drawn instead.
+std::shared_ptr<const rel::Relation> SetPairInstance(size_t sample_size,
+                                                     util::Rng& rng);
+
+/// The demo's example goal on the pair instance: "select the pairs of
+/// pictures having the same color and the same shading".
+core::JoinPredicate SameColorAndShadingGoal(const rel::Schema& pair_schema);
+
+/// All 15 non-trivial feature-match goals (every non-empty subset of the
+/// four features, e.g. "same number", "same symbol and color", ...),
+/// in increasing constraint count. Names like "same Color+Shading".
+struct SetGoal {
+  std::string name;
+  core::JoinPredicate predicate;
+};
+std::vector<SetGoal> AllFeatureMatchGoals(const rel::Schema& pair_schema);
+
+}  // namespace jim::workload
+
+#endif  // JIM_WORKLOAD_SETGAME_H_

@@ -1,0 +1,90 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jim::workload {
+
+lat::Partition RandomPartitionWithRank(size_t n, size_t rank,
+                                       util::Rng& rng) {
+  JIM_CHECK_LT(rank, n == 0 ? 1 : n);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i);
+  for (size_t merge = 0; merge < rank; ++merge) {
+    // Pick two distinct current blocks and merge them.
+    std::vector<int> block_ids;
+    for (size_t i = 0; i < n; ++i) {
+      if (std::find(block_ids.begin(), block_ids.end(), labels[i]) ==
+          block_ids.end()) {
+        block_ids.push_back(labels[i]);
+      }
+    }
+    const size_t a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(block_ids.size()) - 1));
+    size_t b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(block_ids.size()) - 2));
+    if (b >= a) ++b;
+    for (size_t i = 0; i < n; ++i) {
+      if (labels[i] == block_ids[b]) labels[i] = block_ids[a];
+    }
+  }
+  return lat::Partition::FromLabels(labels);
+}
+
+SyntheticWorkload MakeSyntheticWorkload(const SyntheticSpec& spec,
+                                        util::Rng& rng) {
+  const lat::Partition goal =
+      RandomPartitionWithRank(spec.num_attributes, spec.goal_constraints, rng);
+  return MakeSyntheticWorkload(spec, goal, rng);
+}
+
+SyntheticWorkload MakeSyntheticWorkload(const SyntheticSpec& spec,
+                                        const lat::Partition& goal_partition,
+                                        util::Rng& rng) {
+  JIM_CHECK_EQ(goal_partition.num_elements(), spec.num_attributes);
+  JIM_CHECK_GT(spec.domain_size, size_t{0});
+
+  std::vector<std::string> names;
+  names.reserve(spec.num_attributes);
+  for (size_t i = 0; i < spec.num_attributes; ++i) {
+    names.push_back(util::StrFormat("A%zu", i));
+  }
+  rel::Schema schema;
+  for (const std::string& name : names) {
+    schema.AddAttribute(
+        rel::Attribute{name, rel::ValueType::kInt64, ""});
+  }
+
+  rel::Relation instance{"synthetic", schema};
+  instance.Reserve(spec.num_tuples);
+  const auto goal_blocks = goal_partition.Blocks();
+  const int64_t domain_max = static_cast<int64_t>(spec.domain_size) - 1;
+
+  for (size_t t = 0; t < spec.num_tuples; ++t) {
+    rel::Tuple row(spec.num_attributes);
+    if (rng.Bernoulli(spec.goal_satisfaction_rate)) {
+      // Satisfies the goal: one value per goal block.
+      for (const auto& block : goal_blocks) {
+        const rel::Value value(rng.UniformInt(0, domain_max));
+        for (size_t attribute : block) row[attribute] = value;
+      }
+    } else {
+      // Independent values; may satisfy the goal (or more) by chance.
+      for (size_t a = 0; a < spec.num_attributes; ++a) {
+        row[a] = rel::Value(rng.UniformInt(0, domain_max));
+      }
+    }
+    instance.AddRowUnchecked(std::move(row));
+  }
+
+  SyntheticWorkload workload{
+      std::make_shared<const rel::Relation>(std::move(instance)),
+      core::JoinPredicate(schema, goal_partition)};
+  return workload;
+}
+
+}  // namespace jim::workload

@@ -1,0 +1,54 @@
+#ifndef JIM_WORKLOAD_SYNTHETIC_H_
+#define JIM_WORKLOAD_SYNTHETIC_H_
+
+#include <memory>
+
+#include "core/join_predicate.h"
+#include "lattice/partition.h"
+#include "relational/relation.h"
+#include "util/rng.h"
+
+namespace jim::workload {
+
+/// Knobs for the synthetic-instance generator, mirroring the dimensions the
+/// paper's evaluation sweeps: instance size, schema width, goal complexity,
+/// and how "joinable" the data is.
+struct SyntheticSpec {
+  /// Schema width n (attributes of the denormalized table).
+  size_t num_attributes = 6;
+  /// Instance size N (tuples).
+  size_t num_tuples = 200;
+  /// Values per attribute domain; smaller domains create more accidental
+  /// equalities between attributes, i.e. harder, more "complex" instances.
+  size_t domain_size = 8;
+  /// Number of equality constraints in the planted goal query
+  /// (lattice rank of its partition); 0 plants the empty predicate.
+  size_t goal_constraints = 2;
+  /// Fraction of tuples generated to satisfy the goal (the rest draw all
+  /// attributes independently and satisfy it only by chance).
+  double goal_satisfaction_rate = 0.25;
+};
+
+/// A uniformly random partition of n elements conditioned on the given
+/// lattice rank (n - #blocks): built by `rank` random merges.
+lat::Partition RandomPartitionWithRank(size_t n, size_t rank, util::Rng& rng);
+
+/// One generated workload: the instance plus the goal query planted in it.
+struct SyntheticWorkload {
+  std::shared_ptr<const rel::Relation> instance;
+  core::JoinPredicate goal;
+};
+
+/// Generates an instance per `spec` with a random planted goal. Attribute
+/// names are A0..A{n-1}; values are INT64 in [0, domain_size).
+SyntheticWorkload MakeSyntheticWorkload(const SyntheticSpec& spec,
+                                        util::Rng& rng);
+
+/// Same, but plants the provided goal partition instead of a random one.
+SyntheticWorkload MakeSyntheticWorkload(const SyntheticSpec& spec,
+                                        const lat::Partition& goal_partition,
+                                        util::Rng& rng);
+
+}  // namespace jim::workload
+
+#endif  // JIM_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,186 @@
+#include "workload/tpch.h"
+
+#include <cmath>
+#include <iterator>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jim::workload {
+
+namespace {
+
+using rel::Attribute;
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+Schema MakeSchema(std::initializer_list<std::pair<const char*, ValueType>>
+                      columns) {
+  Schema schema;
+  for (const auto& [name, type] : columns) {
+    schema.AddAttribute(Attribute{name, type, ""});
+  }
+  return schema;
+}
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST", "OCEANIA", "ANTARCTICA"};
+
+}  // namespace
+
+rel::Catalog MakeTpchCatalog(const TpchSpec& spec, util::Rng& rng) {
+  rel::Catalog catalog;
+
+  // -- region ---------------------------------------------------------------
+  Relation region{"region", MakeSchema({{"r_regionkey", ValueType::kInt64},
+                                        {"r_name", ValueType::kString}})};
+  for (size_t r = 0; r < spec.num_regions; ++r) {
+    const std::string name =
+        r < std::size(kRegionNames)
+            ? kRegionNames[r]
+            : util::StrFormat("REGION#%zu", r);
+    JIM_CHECK_OK(
+        region.AddRow({Value(static_cast<int64_t>(r)), Value(name)}));
+  }
+
+  // -- nation ---------------------------------------------------------------
+  Relation nation{"nation", MakeSchema({{"n_nationkey", ValueType::kInt64},
+                                        {"n_name", ValueType::kString},
+                                        {"n_regionkey", ValueType::kInt64}})};
+  for (size_t n = 0; n < spec.num_nations; ++n) {
+    JIM_CHECK_OK(nation.AddRow(
+        {Value(static_cast<int64_t>(n)),
+         Value(util::StrFormat("NATION#%02zu", n)),
+         Value(rng.UniformInt(0, static_cast<int64_t>(spec.num_regions) - 1))}));
+  }
+
+  // -- supplier -------------------------------------------------------------
+  Relation supplier{"supplier",
+                    MakeSchema({{"s_suppkey", ValueType::kInt64},
+                                {"s_name", ValueType::kString},
+                                {"s_nationkey", ValueType::kInt64},
+                                {"s_acctbal", ValueType::kDouble}})};
+  for (size_t s = 0; s < spec.num_suppliers; ++s) {
+    JIM_CHECK_OK(supplier.AddRow(
+        {Value(static_cast<int64_t>(s)),
+         Value(util::StrFormat("Supplier#%03zu", s)),
+         Value(rng.UniformInt(0, static_cast<int64_t>(spec.num_nations) - 1)),
+         Value(std::round(rng.UniformDouble() * 999999.0) / 100.0)}));
+  }
+
+  // -- customer -------------------------------------------------------------
+  Relation customer{"customer",
+                    MakeSchema({{"c_custkey", ValueType::kInt64},
+                                {"c_name", ValueType::kString},
+                                {"c_nationkey", ValueType::kInt64},
+                                {"c_acctbal", ValueType::kDouble}})};
+  for (size_t c = 0; c < spec.num_customers; ++c) {
+    JIM_CHECK_OK(customer.AddRow(
+        {Value(static_cast<int64_t>(c)),
+         Value(util::StrFormat("Customer#%06zu", c)),
+         Value(rng.UniformInt(0, static_cast<int64_t>(spec.num_nations) - 1)),
+         Value(std::round(rng.UniformDouble() * 999999.0) / 100.0)}));
+  }
+
+  // -- part -----------------------------------------------------------------
+  Relation part{"part", MakeSchema({{"p_partkey", ValueType::kInt64},
+                                    {"p_name", ValueType::kString},
+                                    {"p_retailprice", ValueType::kDouble}})};
+  for (size_t p = 0; p < spec.num_parts; ++p) {
+    JIM_CHECK_OK(part.AddRow(
+        {Value(static_cast<int64_t>(p)),
+         Value(util::StrFormat("Part#%05zu", p)),
+         Value(900.0 + static_cast<double>(p % 100))}));
+  }
+
+  // -- partsupp ---------------------------------------------------------
+  Relation partsupp{"partsupp",
+                    MakeSchema({{"ps_partkey", ValueType::kInt64},
+                                {"ps_suppkey", ValueType::kInt64},
+                                {"ps_supplycost", ValueType::kDouble}})};
+  for (size_t p = 0; p < spec.num_parts; ++p) {
+    for (size_t k = 0; k < spec.num_partsupp_per_part; ++k) {
+      JIM_CHECK_OK(partsupp.AddRow(
+          {Value(static_cast<int64_t>(p)),
+           Value(rng.UniformInt(0, static_cast<int64_t>(spec.num_suppliers) - 1)),
+           Value(std::round(rng.UniformDouble() * 100000.0) / 100.0)}));
+    }
+  }
+
+  // -- orders -----------------------------------------------------------
+  Relation orders{"orders", MakeSchema({{"o_orderkey", ValueType::kInt64},
+                                        {"o_custkey", ValueType::kInt64},
+                                        {"o_totalprice", ValueType::kDouble}})};
+  for (size_t o = 0; o < spec.num_orders; ++o) {
+    JIM_CHECK_OK(orders.AddRow(
+        {Value(static_cast<int64_t>(o)),
+         Value(rng.UniformInt(0, static_cast<int64_t>(spec.num_customers) - 1)),
+         Value(std::round(rng.UniformDouble() * 10000000.0) / 100.0)}));
+  }
+
+  // -- lineitem ---------------------------------------------------------
+  Relation lineitem{"lineitem",
+                    MakeSchema({{"l_orderkey", ValueType::kInt64},
+                                {"l_partkey", ValueType::kInt64},
+                                {"l_suppkey", ValueType::kInt64},
+                                {"l_quantity", ValueType::kInt64}})};
+  for (size_t o = 0; o < spec.num_orders; ++o) {
+    for (size_t l = 0; l < spec.num_lineitems_per_order; ++l) {
+      JIM_CHECK_OK(lineitem.AddRow(
+          {Value(static_cast<int64_t>(o)),
+           Value(rng.UniformInt(0, static_cast<int64_t>(spec.num_parts) - 1)),
+           Value(rng.UniformInt(0, static_cast<int64_t>(spec.num_suppliers) - 1)),
+           Value(rng.UniformInt(1, 50))}));
+    }
+  }
+
+  JIM_CHECK_OK(catalog.Add(std::move(region)));
+  JIM_CHECK_OK(catalog.Add(std::move(nation)));
+  JIM_CHECK_OK(catalog.Add(std::move(supplier)));
+  JIM_CHECK_OK(catalog.Add(std::move(customer)));
+  JIM_CHECK_OK(catalog.Add(std::move(part)));
+  JIM_CHECK_OK(catalog.Add(std::move(partsupp)));
+  JIM_CHECK_OK(catalog.Add(std::move(orders)));
+  JIM_CHECK_OK(catalog.Add(std::move(lineitem)));
+  return catalog;
+}
+
+std::vector<TpchScenario> TpchScenarios() {
+  return {
+      {"nation-region", {"nation", "region"},
+       "nation.n_regionkey = region.r_regionkey", 1},
+      {"customer-nation", {"customer", "nation"},
+       "customer.c_nationkey = nation.n_nationkey", 1},
+      {"customer-orders", {"customer", "orders"},
+       "customer.c_custkey = orders.o_custkey", 1},
+      {"orders-lineitem", {"orders", "lineitem"},
+       "orders.o_orderkey = lineitem.l_orderkey", 1},
+      {"partsupp-part-supplier",
+       {"partsupp", "part", "supplier"},
+       "partsupp.ps_partkey = part.p_partkey && "
+       "partsupp.ps_suppkey = supplier.s_suppkey",
+       2},
+      {"customer-orders-lineitem",
+       {"customer", "orders", "lineitem"},
+       "customer.c_custkey = orders.o_custkey && "
+       "orders.o_orderkey = lineitem.l_orderkey",
+       2},
+      {"supplier-customer-nation",
+       {"supplier", "customer", "nation"},
+       "supplier.s_nationkey = customer.c_nationkey && "
+       "customer.c_nationkey = nation.n_nationkey",
+       2},
+      {"customer-orders-lineitem-part",
+       {"customer", "orders", "lineitem", "part"},
+       "customer.c_custkey = orders.o_custkey && "
+       "orders.o_orderkey = lineitem.l_orderkey && "
+       "lineitem.l_partkey = part.p_partkey",
+       3},
+  };
+}
+
+}  // namespace jim::workload

@@ -1,0 +1,62 @@
+#ifndef JIM_WORKLOAD_TPCH_H_
+#define JIM_WORKLOAD_TPCH_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/catalog.h"
+#include "util/rng.h"
+
+namespace jim::workload {
+
+/// Scale knobs for the miniature TPC-H generator. Defaults give a catalog
+/// small enough that cross products stay interactive but large enough that
+/// key/foreign-key joins are non-trivial to infer.
+struct TpchSpec {
+  size_t num_regions = 5;
+  size_t num_nations = 25;
+  size_t num_suppliers = 20;
+  size_t num_customers = 50;
+  size_t num_parts = 40;
+  size_t num_partsupp_per_part = 2;
+  size_t num_orders = 100;
+  size_t num_lineitems_per_order = 3;
+};
+
+/// Builds a miniature TPC-H database (the benchmark the paper's companion
+/// evaluation [3] uses). Eight relations with realistic key/foreign-key
+/// structure and TPC-H-style column names:
+///
+///   region  (r_regionkey, r_name)
+///   nation  (n_nationkey, n_name, n_regionkey)
+///   supplier(s_suppkey, s_name, s_nationkey, s_acctbal)
+///   customer(c_custkey, c_name, c_nationkey, c_acctbal)
+///   part    (p_partkey, p_name, p_retailprice)
+///   partsupp(ps_partkey, ps_suppkey, ps_supplycost)
+///   orders  (o_orderkey, o_custkey, o_totalprice)
+///   lineitem(l_orderkey, l_partkey, l_suppkey, l_quantity)
+///
+/// All keys are dense INT64s; foreign keys reference existing keys, so the
+/// natural equi-joins (customer ⋈ orders on custkey etc.) are exactly the
+/// goal queries bench S3 plants.
+rel::Catalog MakeTpchCatalog(const TpchSpec& spec, util::Rng& rng);
+
+/// A named TPC-H join-inference scenario: the relations to denormalize and
+/// the goal join predicate over the universal table, written against
+/// qualified attribute names (parseable by JoinPredicate::Parse).
+struct TpchScenario {
+  std::string name;
+  std::vector<std::string> relations;
+  std::string goal;
+  /// Number of equality constraints in the goal (difficulty proxy).
+  size_t goal_constraints;
+};
+
+/// The scenario suite used by bench S3, in increasing goal complexity:
+/// 1-constraint FK joins up to the 4-constraint chain
+/// customer–orders–lineitem–part.
+std::vector<TpchScenario> TpchScenarios();
+
+}  // namespace jim::workload
+
+#endif  // JIM_WORKLOAD_TPCH_H_

@@ -1,0 +1,220 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+#include "workload/travel.h"
+
+namespace jim::core {
+namespace {
+
+std::shared_ptr<const rel::Relation> SmallInstance() {
+  return workload::Figure1InstancePtr();
+}
+
+TEST(EngineTest, BuildsClassesByValuePartition) {
+  InferenceEngine engine(SmallInstance());
+  EXPECT_EQ(engine.num_tuples(), 12u);
+  // Figure 1 has 6 distinct value partitions:
+  // ⊥:{1,5,9}, {F,C}:{2,6,11}, {T,C}{A,D}:{3,4}, {T,C}:{8,10},
+  // {F,C}{A,D}:{7}, {A,D}:{12}.
+  EXPECT_EQ(engine.num_classes(), 6u);
+  // Tuples 3 and 4 (rows 2,3) share a class.
+  EXPECT_EQ(engine.class_of_tuple(2), engine.class_of_tuple(3));
+  EXPECT_NE(engine.class_of_tuple(2), engine.class_of_tuple(0));
+  // Class sizes sum to the tuple count.
+  size_t total = 0;
+  for (size_t c = 0; c < engine.num_classes(); ++c) {
+    total += engine.tuple_class(c).size();
+  }
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(EngineTest, InitiallyAllInformativeOnFigure1) {
+  InferenceEngine engine(SmallInstance());
+  EXPECT_EQ(engine.InformativeClasses().size(), 6u);
+  EXPECT_EQ(engine.NumInformativeTuples(), 12u);
+  EXPECT_FALSE(engine.IsDone());
+}
+
+TEST(EngineTest, AllEqualTupleIsForcedPositiveFromTheStart) {
+  rel::Relation relation{"t", rel::Schema::FromNames({"a", "b"})};
+  using rel::Value;
+  ASSERT_TRUE(relation.AddRow({Value("x"), Value("x")}).ok());
+  ASSERT_TRUE(relation.AddRow({Value("x"), Value("y")}).ok());
+  InferenceEngine engine(
+      std::make_shared<const rel::Relation>(std::move(relation)));
+  // Tuple 0 satisfies every predicate over 2 attributes -> never informative.
+  EXPECT_EQ(engine.tuple_status(0), TupleStatus::kForcedPositive);
+  EXPECT_EQ(engine.tuple_status(1), TupleStatus::kInformative);
+}
+
+TEST(EngineTest, SimulateLabelMatchesActualSubmission) {
+  util::Rng rng(808);
+  workload::SyntheticSpec spec;
+  spec.num_attributes = 5;
+  spec.num_tuples = 120;
+  spec.domain_size = 4;
+  const auto workload = workload::MakeSyntheticWorkload(spec, rng);
+
+  for (int step = 0; step < 30; ++step) {
+    InferenceEngine engine(workload.instance);
+    // Play a random prefix of labels.
+    ExactOracle oracle(workload.goal);
+    for (int pre = 0; pre < step % 4; ++pre) {
+      const auto informative = engine.InformativeClasses();
+      if (informative.empty()) break;
+      const size_t cls = informative[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(informative.size()) - 1))];
+      const size_t tuple = engine.tuple_class(cls).tuple_indices[0];
+      ASSERT_TRUE(
+          engine.SubmitClassLabel(cls, oracle.LabelFor(
+                                           workload.instance->row(tuple)))
+              .ok());
+    }
+    const auto informative = engine.InformativeClasses();
+    if (informative.empty()) continue;
+    const size_t cls = informative[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(informative.size()) - 1))];
+    for (const Label label : {Label::kPositive, Label::kNegative}) {
+      const auto predicted = engine.SimulateLabel(cls, label);
+      InferenceEngine copy = engine;
+      const size_t informative_before = copy.NumInformativeTuples();
+      ASSERT_TRUE(copy.SubmitClassLabel(cls, label).ok());
+      const size_t informative_after = copy.NumInformativeTuples();
+      EXPECT_EQ(predicted.pruned_tuples,
+                informative_before - informative_after);
+    }
+  }
+}
+
+TEST(EngineTest, PrunedClassesNeverComeBack) {
+  // Monotonicity: once a class leaves the informative pool it stays out.
+  util::Rng rng(909);
+  workload::SyntheticSpec spec;
+  spec.num_attributes = 6;
+  spec.num_tuples = 150;
+  spec.domain_size = 3;
+  const auto workload = workload::MakeSyntheticWorkload(spec, rng);
+  InferenceEngine engine(workload.instance);
+  ExactOracle oracle(workload.goal);
+
+  std::vector<bool> was_uninformative(engine.num_classes(), false);
+  while (!engine.IsDone()) {
+    for (size_t c = 0; c < engine.num_classes(); ++c) {
+      const bool informative =
+          engine.class_status(c) == ClassStatus::kInformative;
+      if (was_uninformative[c]) {
+        ASSERT_FALSE(informative) << "class " << c << " was resurrected";
+      }
+      if (!informative) was_uninformative[c] = true;
+    }
+    const auto informative = engine.InformativeClasses();
+    const size_t cls = informative[0];
+    const size_t tuple = engine.tuple_class(cls).tuple_indices[0];
+    ASSERT_TRUE(engine
+                    .SubmitClassLabel(
+                        cls, oracle.LabelFor(workload.instance->row(tuple)))
+                    .ok());
+  }
+}
+
+TEST(EngineTest, StatsAreConserved) {
+  InferenceEngine engine(SmallInstance());
+  ASSERT_TRUE(engine.SubmitTupleLabel(2, Label::kPositive).ok());
+  ASSERT_TRUE(engine.SubmitTupleLabel(6, Label::kNegative).ok());
+  const auto stats = engine.GetStats();
+  EXPECT_EQ(stats.num_tuples, 12u);
+  EXPECT_EQ(stats.num_classes, 6u);
+  EXPECT_EQ(stats.interactions, 2u);
+  EXPECT_EQ(stats.wasted_interactions, 0u);
+  EXPECT_EQ(stats.informative_tuples + stats.forced_positive_tuples +
+                stats.forced_negative_tuples +
+                stats.explicitly_labeled_tuples,
+            12u);
+}
+
+TEST(EngineTest, WastedInteractionCounting) {
+  InferenceEngine engine(SmallInstance());
+  ASSERT_TRUE(engine.SubmitTupleLabel(2, Label::kPositive).ok());
+  // Tuple 3 (row index) shares the class -> consistent but uninformative.
+  ASSERT_TRUE(engine.SubmitTupleLabel(3, Label::kPositive).ok());
+  EXPECT_EQ(engine.GetStats().wasted_interactions, 1u);
+  EXPECT_EQ(engine.GetStats().interactions, 2u);
+}
+
+TEST(EngineTest, OutOfRangeInputsRejected) {
+  InferenceEngine engine(SmallInstance());
+  EXPECT_EQ(engine.SubmitTupleLabel(99, Label::kPositive).code(),
+            util::StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.SubmitClassLabel(99, Label::kPositive).code(),
+            util::StatusCode::kOutOfRange);
+}
+
+TEST(EngineTest, HistoryRecordsSubmissions) {
+  InferenceEngine engine(SmallInstance());
+  ASSERT_TRUE(engine.SubmitTupleLabel(11, Label::kNegative).ok());
+  ASSERT_TRUE(engine.SubmitTupleLabel(2, Label::kPositive).ok());
+  ASSERT_EQ(engine.history().size(), 2u);
+  EXPECT_EQ(engine.history()[0].tuple_index, 11u);
+  EXPECT_EQ(engine.history()[0].label, Label::kNegative);
+  EXPECT_EQ(engine.history()[1].tuple_index, 2u);
+}
+
+TEST(EngineTest, ResultIsThetaP) {
+  InferenceEngine engine(SmallInstance());
+  ASSERT_TRUE(engine.SubmitTupleLabel(2, Label::kPositive).ok());
+  EXPECT_EQ(engine.Result().partition(), engine.state().theta_p());
+}
+
+TEST(EngineTest, CertainAnswersAreMonotoneAndFinal) {
+  const auto instance = SmallInstance();
+  const auto goal =
+      JoinPredicate::Parse(instance->schema(), workload::kQ2).value();
+  InferenceEngine engine(instance);
+  ExactOracle oracle(goal);
+  util::DynamicBitset previous_in(engine.num_tuples());
+  util::DynamicBitset previous_out(engine.num_tuples());
+  while (!engine.IsDone()) {
+    const auto certain_in = engine.CertainResultTuples();
+    const auto certain_out = engine.CertainNonResultTuples();
+    // Monotone growth, never overlapping.
+    EXPECT_TRUE(previous_in.IsSubsetOf(certain_in));
+    EXPECT_TRUE(previous_out.IsSubsetOf(certain_out));
+    EXPECT_FALSE(certain_in.Intersects(certain_out));
+    // Certain answers are sound w.r.t. the goal (honest oracle).
+    for (size_t t : certain_in.ToVector()) {
+      EXPECT_TRUE(goal.Selects(instance->row(t)));
+    }
+    for (size_t t : certain_out.ToVector()) {
+      EXPECT_FALSE(goal.Selects(instance->row(t)));
+    }
+    previous_in = certain_in;
+    previous_out = certain_out;
+    const size_t cls = engine.InformativeClasses()[0];
+    const size_t tuple = engine.tuple_class(cls).tuple_indices[0];
+    ASSERT_TRUE(
+        engine.SubmitClassLabel(cls, oracle.LabelFor(instance->row(tuple)))
+            .ok());
+  }
+  // At termination the certain sets partition the instance and the positive
+  // side equals the goal's selected set.
+  const auto final_in = engine.CertainResultTuples();
+  const auto final_out = engine.CertainNonResultTuples();
+  EXPECT_EQ(final_in.Count() + final_out.Count(), engine.num_tuples());
+  EXPECT_EQ(final_in, goal.SelectedRows(*instance));
+}
+
+TEST(EngineTest, CopyIsIndependent) {
+  InferenceEngine engine(SmallInstance());
+  InferenceEngine copy = engine;
+  ASSERT_TRUE(copy.SubmitTupleLabel(2, Label::kPositive).ok());
+  EXPECT_EQ(engine.GetStats().interactions, 0u);
+  EXPECT_EQ(copy.GetStats().interactions, 1u);
+  EXPECT_EQ(engine.tuple_status(3), TupleStatus::kInformative);
+}
+
+}  // namespace
+}  // namespace jim::core

@@ -1,0 +1,212 @@
+#include "core/inference_state.h"
+
+#include <gtest/gtest.h>
+
+#include "core/join_predicate.h"
+#include "lattice/enumeration.h"
+#include "util/rng.h"
+
+namespace jim::core {
+namespace {
+
+using lat::Partition;
+
+TEST(InferenceStateTest, InitialStateAcceptsEverything) {
+  const InferenceState state(4);
+  EXPECT_EQ(state.theta_p(), Partition::Top(4));
+  EXPECT_TRUE(state.negatives().empty());
+  EXPECT_FALSE(state.has_positive_example());
+  lat::VisitAllPartitions(4, [&](const Partition& theta) {
+    EXPECT_TRUE(state.IsConsistent(theta));
+    return true;
+  });
+  EXPECT_EQ(state.CountConsistent(), lat::BellNumber(4));
+}
+
+TEST(InferenceStateTest, PositiveLabelShrinksThetaP) {
+  InferenceState state(4);
+  const Partition part = Partition::FromLabels({0, 0, 1, 2});
+  ASSERT_TRUE(state.ApplyLabel(part, Label::kPositive).ok());
+  EXPECT_EQ(state.theta_p(), part);
+  EXPECT_TRUE(state.has_positive_example());
+  // A second positive meets in.
+  const Partition part2 = Partition::FromLabels({0, 0, 1, 1});
+  ASSERT_TRUE(state.ApplyLabel(part2, Label::kPositive).ok());
+  EXPECT_EQ(state.theta_p(), part.Meet(part2));
+}
+
+TEST(InferenceStateTest, NegativeLabelForbidsDownSet) {
+  InferenceState state(4);
+  const Partition part = Partition::FromLabels({0, 0, 1, 2});  // {01}
+  ASSERT_TRUE(state.ApplyLabel(part, Label::kNegative).ok());
+  EXPECT_FALSE(state.IsConsistent(Partition::Singletons(4)));
+  EXPECT_FALSE(state.IsConsistent(part));
+  EXPECT_TRUE(state.IsConsistent(Partition::FromLabels({0, 1, 0, 2})));
+  EXPECT_TRUE(state.IsConsistent(Partition::Top(4)));
+}
+
+TEST(InferenceStateTest, ClassifyForcedPositive) {
+  InferenceState state(3);
+  ASSERT_TRUE(
+      state.ApplyLabel(Partition::FromLabels({0, 0, 1}), Label::kPositive)
+          .ok());
+  // Any tuple whose partition coarsens θ_P is forced positive.
+  EXPECT_EQ(state.Classify(Partition::FromLabels({0, 0, 1})),
+            TupleClassification::kForcedPositive);
+  EXPECT_EQ(state.Classify(Partition::Top(3)),
+            TupleClassification::kForcedPositive);
+  EXPECT_EQ(state.Classify(Partition::Singletons(3)),
+            TupleClassification::kInformative);
+}
+
+TEST(InferenceStateTest, ClassifyForcedNegative) {
+  InferenceState state(3);
+  ASSERT_TRUE(
+      state.ApplyLabel(Partition::FromLabels({0, 0, 1}), Label::kNegative)
+          .ok());
+  // Tuples with no equalities can only be selected by predicates ≤ {01},
+  // all of which are now forbidden.
+  EXPECT_EQ(state.Classify(Partition::Singletons(3)),
+            TupleClassification::kForcedNegative);
+  EXPECT_EQ(state.Classify(Partition::FromLabels({0, 0, 1})),
+            TupleClassification::kForcedNegative);
+  EXPECT_EQ(state.Classify(Partition::FromLabels({0, 1, 0})),
+            TupleClassification::kInformative);
+}
+
+TEST(InferenceStateTest, ContradictionsAreRejectedAndStatePreserved) {
+  InferenceState state(3);
+  const Partition part = Partition::FromLabels({0, 0, 1});
+  ASSERT_TRUE(state.ApplyLabel(part, Label::kPositive).ok());
+  const std::string key_before = state.CanonicalKey();
+  // part is now forced positive; a negative label must fail cleanly.
+  const auto status = state.ApplyLabel(part, Label::kNegative);
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(state.CanonicalKey(), key_before);
+}
+
+TEST(InferenceStateTest, RedundantLabelsAreNoOps) {
+  InferenceState state(3);
+  const Partition part = Partition::FromLabels({0, 0, 1});
+  ASSERT_TRUE(state.ApplyLabel(part, Label::kPositive).ok());
+  const std::string key = state.CanonicalKey();
+  ASSERT_TRUE(state.ApplyLabel(part, Label::kPositive).ok());
+  EXPECT_EQ(state.CanonicalKey(), key);
+  ASSERT_TRUE(state.ApplyLabel(Partition::Top(3), Label::kPositive).ok());
+  EXPECT_EQ(state.CanonicalKey(), key);
+}
+
+TEST(InferenceStateTest, CanonicalKeyDistinguishesStates) {
+  InferenceState a(3);
+  InferenceState b(3);
+  EXPECT_EQ(a.CanonicalKey(), b.CanonicalKey());
+  ASSERT_TRUE(a.ApplyLabel(Partition::FromLabels({0, 0, 1}), Label::kNegative)
+                  .ok());
+  EXPECT_NE(a.CanonicalKey(), b.CanonicalKey());
+  ASSERT_TRUE(b.ApplyLabel(Partition::FromLabels({0, 0, 1}), Label::kNegative)
+                  .ok());
+  EXPECT_EQ(a.CanonicalKey(), b.CanonicalKey());
+}
+
+// ------------------------------------------------------------------------
+// The central property test: Classify and IsConsistent agree with a brute
+// force over the entire hypothesis lattice, across random label histories.
+// ------------------------------------------------------------------------
+
+class BruteForceAgreement : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BruteForceAgreement, ClassifyMatchesEnumeration) {
+  const size_t n = GetParam();
+  util::Rng rng(7000 + n);
+  const auto all = lat::AllPartitions(n);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    // A random goal guarantees an honest (consistent) label sequence.
+    const Partition& goal = rng.PickOne(all);
+    InferenceState state(n);
+    std::vector<std::pair<Partition, Label>> labels;
+
+    for (int step = 0; step < 6; ++step) {
+      // Random tuple partition.
+      const Partition& part = rng.PickOne(all);
+      const Label label = goal.Refines(part) ? Label::kPositive
+                                             : Label::kNegative;
+
+      // Brute-force the consistent set from the raw label list.
+      labels.emplace_back(part, label);
+      auto consistent_brute = [&](const Partition& theta) {
+        for (const auto& [p, l] : labels) {
+          const bool selects = theta.Refines(p);
+          if (l == Label::kPositive && !selects) return false;
+          if (l == Label::kNegative && selects) return false;
+        }
+        return true;
+      };
+
+      ASSERT_TRUE(state.ApplyLabel(part, label).ok());
+
+      // (1) IsConsistent agrees pointwise.
+      uint64_t consistent_count = 0;
+      for (const Partition& theta : all) {
+        const bool brute = consistent_brute(theta);
+        EXPECT_EQ(state.IsConsistent(theta), brute)
+            << "theta=" << theta.ToString() << " after " << labels.size()
+            << " labels";
+        if (brute) ++consistent_count;
+      }
+      // (2) CountConsistent agrees in aggregate.
+      EXPECT_EQ(state.CountConsistent(), consistent_count);
+
+      // (3) Classify agrees with the quantifier definition.
+      for (const Partition& tuple_part : all) {
+        bool some_select = false;
+        bool some_reject = false;
+        for (const Partition& theta : all) {
+          if (!consistent_brute(theta)) continue;
+          if (theta.Refines(tuple_part)) {
+            some_select = true;
+          } else {
+            some_reject = true;
+          }
+        }
+        TupleClassification expected;
+        if (some_select && some_reject) {
+          expected = TupleClassification::kInformative;
+        } else if (some_select) {
+          expected = TupleClassification::kForcedPositive;
+        } else {
+          expected = TupleClassification::kForcedNegative;
+        }
+        EXPECT_EQ(state.Classify(tuple_part), expected)
+            << "tuple partition " << tuple_part.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSchemas, BruteForceAgreement,
+                         ::testing::Values(3, 4));
+
+TEST(InferenceStateTest, HonestGoalStaysConsistentForever) {
+  util::Rng rng(4242);
+  const size_t n = 5;
+  const auto all = lat::AllPartitions(n);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Partition& goal = rng.PickOne(all);
+    InferenceState state(n);
+    for (int step = 0; step < 12; ++step) {
+      const Partition& part = rng.PickOne(all);
+      const Label label =
+          goal.Refines(part) ? Label::kPositive : Label::kNegative;
+      ASSERT_TRUE(state.ApplyLabel(part, label).ok());
+      ASSERT_TRUE(state.IsConsistent(goal))
+          << "honest labeling made the goal inconsistent";
+      // θ_P is always the maximal consistent predicate.
+      ASSERT_TRUE(state.IsConsistent(state.theta_p()));
+      ASSERT_TRUE(goal.Refines(state.theta_p()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jim::core

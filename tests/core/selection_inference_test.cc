@@ -1,0 +1,199 @@
+// Tests for the selection+join extension (queries mixing attribute
+// equalities with constant selections) — the product-lattice generalization
+// of the paper's query class.
+
+#include "core/selection_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+#include "workload/travel.h"
+
+namespace jim::core {
+namespace {
+
+rel::Schema TravelSchema() {
+  return rel::Schema::FromNames({"From", "To", "Airline", "City", "Discount"});
+}
+
+TEST(SelectionQueryParseTest, MixedConjuncts) {
+  const auto q = SelectionJoinQuery::Parse(
+                     TravelSchema(), "To=City && Airline='AF'")
+                     .value();
+  EXPECT_EQ(q.NumJoinConstraints(), 1u);
+  EXPECT_EQ(q.NumSelectionConstraints(), 1u);
+  EXPECT_TRUE(q.partition().SameBlock(1, 3));
+  EXPECT_TRUE(q.constants().at(2).Equals(rel::Value("AF")));
+}
+
+TEST(SelectionQueryParseTest, NumericConstants) {
+  const auto schema = rel::Schema::FromNames({"a", "b"});
+  const auto q1 = SelectionJoinQuery::Parse(schema, "a=42").value();
+  EXPECT_TRUE(q1.constants().at(0).Equals(rel::Value(int64_t{42})));
+  const auto q2 = SelectionJoinQuery::Parse(schema, "b=2.5").value();
+  EXPECT_TRUE(q2.constants().at(1).Equals(rel::Value(2.5)));
+}
+
+TEST(SelectionQueryParseTest, Errors) {
+  EXPECT_FALSE(SelectionJoinQuery::Parse(TravelSchema(), "Nope='x'").ok());
+  EXPECT_FALSE(SelectionJoinQuery::Parse(TravelSchema(), "To=Nowhere").ok());
+  EXPECT_FALSE(SelectionJoinQuery::Parse(TravelSchema(), "To City").ok());
+}
+
+TEST(SelectionQueryTest, SelectsRespectsBothKinds) {
+  const auto q = SelectionJoinQuery::Parse(
+                     TravelSchema(), "To=City && Airline='AF'")
+                     .value();
+  const auto instance = workload::Figure1Instance();
+  // Q1 selects rows {3,4,8,10} (1-based); of those, Airline='AF' holds for
+  // 3 and 10 only.
+  std::vector<size_t> selected;
+  for (size_t t = 0; t < instance.num_rows(); ++t) {
+    if (q.Selects(instance.row(t))) selected.push_back(t + 1);
+  }
+  EXPECT_EQ(selected, (std::vector<size_t>{3, 10}));
+}
+
+TEST(SelectionQueryTest, ToStringShowsLiterals) {
+  const auto q = SelectionJoinQuery::Parse(
+                     TravelSchema(), "To=City && Airline='AF'")
+                     .value();
+  EXPECT_EQ(q.ToString(),
+            "To\xE2\x89\x88"
+            "City \xE2\x88\xA7 Airline='AF'");
+}
+
+TEST(SelectionStateTest, PositiveNarrowsConstants) {
+  SelectionInferenceState state(5);
+  const auto instance = workload::Figure1Instance();
+  // Tuple (3): Paris Lille AF Lille AF.
+  ASSERT_TRUE(state.ApplyLabel(instance.row(2), Label::kPositive).ok());
+  ASSERT_TRUE(state.constants_p().has_value());
+  EXPECT_EQ(state.constants_p()->size(), 5u);  // every attribute pinned
+  // Tuple (4): Lille NYC AA NYC AA — shares no constant with (3) except none.
+  ASSERT_TRUE(state.ApplyLabel(instance.row(3), Label::kPositive).ok());
+  EXPECT_TRUE(state.constants_p()->empty());
+  // The partition knowledge is the meet, as in the pure-join case.
+  EXPECT_EQ(state.theta_p().ToString(), "{0|1,3|2,4}");
+}
+
+TEST(SelectionStateTest, ForcedClassificationsAndContradictions) {
+  SelectionInferenceState state(5);
+  const auto instance = workload::Figure1Instance();
+  ASSERT_TRUE(state.ApplyLabel(instance.row(2), Label::kPositive).ok());
+  // After one positive, the identical row is forced positive...
+  EXPECT_EQ(state.Classify(instance.row(2)),
+            TupleClassification::kForcedPositive);
+  // ...but unlike the pure-join case, tuple (4) is NOT forced positive:
+  // the hypothesis could include City='Lille'.
+  EXPECT_EQ(state.Classify(instance.row(3)),
+            TupleClassification::kInformative);
+  // Contradiction is rejected.
+  EXPECT_EQ(state.ApplyLabel(instance.row(2), Label::kNegative).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(SelectionStateTest, NegativePrunesExactMatchesOnly) {
+  SelectionInferenceState state(3);
+  using rel::Value;
+  const rel::Tuple s = {Value("a"), Value("b"), Value("c")};
+  ASSERT_TRUE(state.ApplyLabel(s, Label::kNegative).ok());
+  EXPECT_EQ(state.Classify(s), TupleClassification::kForcedNegative);
+  // A different tuple remains informative (its exact-match query is live).
+  EXPECT_EQ(state.Classify({Value("a"), Value("b"), Value("x")}),
+            TupleClassification::kInformative);
+}
+
+TEST(SelectionStateTest, IsConsistentMatchesDefinition) {
+  SelectionInferenceState state(3);
+  using rel::Value;
+  const rel::Tuple pos = {Value("a"), Value("a"), Value("b")};
+  const rel::Tuple neg = {Value("a"), Value("a"), Value("c")};
+  ASSERT_TRUE(state.ApplyLabel(pos, Label::kPositive).ok());
+  ASSERT_TRUE(state.ApplyLabel(neg, Label::kNegative).ok());
+  // {0,1} join alone selects both pos and neg -> inconsistent.
+  EXPECT_FALSE(
+      state.IsConsistent(lat::Partition::FromLabels({0, 0, 1}), {}));
+  // {0,1} join plus C2='b' separates them -> consistent.
+  EXPECT_TRUE(state.IsConsistent(lat::Partition::FromLabels({0, 0, 1}),
+                                 {{2, Value("b")}}));
+  // Constants not shared by the positive are inconsistent.
+  EXPECT_FALSE(state.IsConsistent(lat::Partition::Singletons(3),
+                                  {{2, Value("zzz")}}));
+}
+
+TEST(SelectionSessionTest, InfersJoinPlusConstantOnFigure1) {
+  const auto instance = workload::Figure1InstancePtr();
+  const auto goal = SelectionJoinQuery::Parse(
+                        instance->schema(), "To=City && Airline='AF'")
+                        .value();
+  const auto result = RunSelectionSession(instance, goal);
+  EXPECT_TRUE(result.identified_goal);
+  ASSERT_TRUE(result.result.has_value());
+  // The result is instance-equivalent; check it selects exactly {3, 10}.
+  std::vector<size_t> selected;
+  for (size_t t = 0; t < instance->num_rows(); ++t) {
+    if (result.result->Selects(instance->row(t))) selected.push_back(t + 1);
+  }
+  EXPECT_EQ(selected, (std::vector<size_t>{3, 10}));
+  EXPECT_LE(result.interactions, instance->num_rows());
+}
+
+TEST(SelectionSessionTest, PureJoinGoalsStillWork) {
+  const auto instance = workload::Figure1InstancePtr();
+  for (const char* goal_text : {workload::kQ1, workload::kQ2}) {
+    const auto goal =
+        SelectionJoinQuery::Parse(instance->schema(), goal_text).value();
+    const auto result = RunSelectionSession(instance, goal);
+    EXPECT_TRUE(result.identified_goal) << goal_text;
+  }
+}
+
+TEST(SelectionSessionTest, RandomizedWorkloads) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed * 7);
+    workload::SyntheticSpec spec;
+    spec.num_attributes = 4;
+    spec.num_tuples = 40;
+    spec.domain_size = 3;
+    spec.goal_constraints = 1;
+    const auto workload = workload::MakeSyntheticWorkload(spec, rng);
+    // Pure-join goal via the extended engine.
+    const SelectionJoinQuery goal(workload.instance->schema(),
+                                  workload.goal.partition(), {});
+    const auto result = RunSelectionSession(workload.instance, goal, seed);
+    EXPECT_TRUE(result.identified_goal) << "seed " << seed;
+  }
+}
+
+TEST(SelectionSessionTest, GoalSelectingNothing) {
+  // A constant never present: the inference must converge on "empty result"
+  // and report identification.
+  const auto instance = workload::Figure1InstancePtr();
+  const auto goal = SelectionJoinQuery::Parse(instance->schema(),
+                                              "Airline='Lufthansa'")
+                        .value();
+  const auto result = RunSelectionSession(instance, goal);
+  EXPECT_TRUE(result.identified_goal);
+}
+
+TEST(SelectionSessionTest, RicherSpaceCostsMoreQuestions) {
+  // The price of the bigger hypothesis space, quantified: the same
+  // pure-join goal needs at least as many questions under selection+join
+  // inference as under pure-join inference.
+  const auto instance = workload::Figure1InstancePtr();
+  const auto join_goal =
+      JoinPredicate::Parse(instance->schema(), workload::kQ2).value();
+  auto strategy = MakeStrategy("lookahead-minmax").value();
+  const auto pure = RunSession(instance, join_goal, *strategy);
+
+  const auto extended_goal =
+      SelectionJoinQuery::Parse(instance->schema(), workload::kQ2).value();
+  const auto extended = RunSelectionSession(instance, extended_goal);
+  EXPECT_GE(extended.interactions, pure.interactions);
+}
+
+}  // namespace
+}  // namespace jim::core

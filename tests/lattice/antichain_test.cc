@@ -1,0 +1,130 @@
+#include "lattice/antichain.h"
+
+#include <gtest/gtest.h>
+
+#include "lattice/enumeration.h"
+#include "lattice/union_find.h"
+#include "util/rng.h"
+
+namespace jim::lat {
+namespace {
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already connected
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFindTest, FindIsStableWithinSet) {
+  UnionFind uf(10);
+  uf.Union(2, 7);
+  uf.Union(7, 9);
+  const size_t root = uf.Find(2);
+  EXPECT_EQ(uf.Find(7), root);
+  EXPECT_EQ(uf.Find(9), root);
+}
+
+TEST(AntichainTest, InsertKeepsMaximalElements) {
+  Antichain chain;
+  const Partition small = Partition::FromLabels({0, 1, 2, 3});
+  const Partition big = Partition::FromLabels({0, 0, 1, 2});
+  EXPECT_TRUE(chain.Insert(small));
+  EXPECT_EQ(chain.size(), 1u);
+  // Inserting a dominating element replaces the dominated one.
+  EXPECT_TRUE(chain.Insert(big));
+  EXPECT_EQ(chain.size(), 1u);
+  EXPECT_TRUE(chain.Contains(big));
+  EXPECT_FALSE(chain.Contains(small));
+  // Re-inserting something dominated is a no-op.
+  EXPECT_FALSE(chain.Insert(small));
+  EXPECT_FALSE(chain.Insert(big));
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+TEST(AntichainTest, IncomparableMembersCoexist) {
+  Antichain chain;
+  const Partition a = Partition::FromLabels({0, 0, 1, 2});
+  const Partition b = Partition::FromLabels({0, 1, 1, 2});
+  EXPECT_TRUE(chain.Insert(a));
+  EXPECT_TRUE(chain.Insert(b));
+  EXPECT_EQ(chain.size(), 2u);
+}
+
+TEST(AntichainTest, DominatedBySemantics) {
+  Antichain chain;
+  chain.Insert(Partition::FromLabels({0, 0, 1, 2}));  // {01}
+  EXPECT_TRUE(chain.DominatedBy(Partition::Singletons(4)));
+  EXPECT_TRUE(chain.DominatedBy(Partition::FromLabels({0, 0, 1, 2})));
+  EXPECT_FALSE(chain.DominatedBy(Partition::FromLabels({0, 1, 0, 2})));
+  EXPECT_FALSE(chain.DominatedBy(Partition::Top(4)));
+}
+
+TEST(AntichainTest, RestrictToMeetsMembers) {
+  Antichain chain;
+  chain.Insert(Partition::FromLabels({0, 0, 0, 1}));  // {012}
+  const Partition bound = Partition::FromLabels({0, 0, 1, 1});  // {01|23}
+  chain.RestrictTo(bound);
+  ASSERT_EQ(chain.size(), 1u);
+  // {012} ∧ {01|23} = {01|2|3}
+  EXPECT_TRUE(chain.Contains(Partition::FromLabels({0, 0, 1, 2})));
+}
+
+TEST(AntichainTest, ToStringIsCanonical) {
+  Antichain a;
+  Antichain b;
+  const Partition p = Partition::FromLabels({0, 0, 1});
+  const Partition q = Partition::FromLabels({0, 1, 0});
+  a.Insert(p);
+  a.Insert(q);
+  b.Insert(q);
+  b.Insert(p);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(AntichainPropertyTest, MembersArePairwiseIncomparable) {
+  util::Rng rng(99);
+  const auto all = AllPartitions(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    Antichain chain;
+    for (int i = 0; i < 20; ++i) {
+      chain.Insert(rng.PickOne(all));
+    }
+    const auto& members = chain.members();
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = 0; j < members.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(members[i].Refines(members[j]))
+            << members[i].ToString() << " refines " << members[j].ToString();
+      }
+    }
+  }
+}
+
+TEST(AntichainPropertyTest, DominationMatchesBruteForce) {
+  util::Rng rng(101);
+  const auto all = AllPartitions(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    Antichain chain;
+    std::vector<Partition> inserted;
+    for (int i = 0; i < 8; ++i) {
+      const Partition& p = rng.PickOne(all);
+      chain.Insert(p);
+      inserted.push_back(p);
+    }
+    for (const Partition& q : all) {
+      bool brute = false;
+      for (const Partition& m : inserted) {
+        if (q.Refines(m)) brute = true;
+      }
+      EXPECT_EQ(chain.DominatedBy(q), brute) << q.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jim::lat

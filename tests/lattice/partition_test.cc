@@ -1,0 +1,179 @@
+#include "lattice/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "lattice/enumeration.h"
+#include "util/rng.h"
+
+namespace jim::lat {
+namespace {
+
+TEST(PartitionTest, SingletonsAndTop) {
+  const Partition bottom = Partition::Singletons(4);
+  EXPECT_EQ(bottom.num_blocks(), 4u);
+  EXPECT_EQ(bottom.Rank(), 0u);
+  EXPECT_TRUE(bottom.IsSingletons());
+  EXPECT_EQ(bottom.ToString(), "{0|1|2|3}");
+
+  const Partition top = Partition::Top(4);
+  EXPECT_EQ(top.num_blocks(), 1u);
+  EXPECT_EQ(top.Rank(), 3u);
+  EXPECT_EQ(top.ToString(), "{0,1,2,3}");
+}
+
+TEST(PartitionTest, EmptyPartition) {
+  const Partition empty;
+  EXPECT_EQ(empty.num_elements(), 0u);
+  EXPECT_EQ(empty.num_blocks(), 0u);
+  EXPECT_EQ(Partition::Singletons(0), empty);
+}
+
+TEST(PartitionTest, FromLabelsCanonicalizes) {
+  // Same grouping under different raw labels must compare equal.
+  const Partition a = Partition::FromLabels({5, 9, 5, 2});
+  const Partition b = Partition::FromLabels({0, 1, 0, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_TRUE(a.SameBlock(0, 2));
+  EXPECT_FALSE(a.SameBlock(0, 1));
+}
+
+TEST(PartitionTest, FromPairsTakesTransitiveClosure) {
+  const Partition p = Partition::FromPairs(5, {{0, 1}, {1, 2}}).value();
+  EXPECT_TRUE(p.SameBlock(0, 2));
+  EXPECT_EQ(p.num_blocks(), 3u);
+  EXPECT_EQ(p.ToString(), "{0,1,2|3|4}");
+}
+
+TEST(PartitionTest, FromPairsRejectsOutOfRange) {
+  EXPECT_FALSE(Partition::FromPairs(3, {{0, 3}}).ok());
+}
+
+TEST(PartitionTest, FromBlocksValidation) {
+  EXPECT_EQ(Partition::FromBlocks(4, {{0, 2}, {1}, {3}}).value().ToString(),
+            "{0,2|1|3}");
+  EXPECT_FALSE(Partition::FromBlocks(4, {{0, 2}, {1}}).ok());      // missing 3
+  EXPECT_FALSE(Partition::FromBlocks(4, {{0, 1}, {1, 2}, {3}}).ok());  // dup
+  EXPECT_FALSE(Partition::FromBlocks(3, {{0, 1, 2}, {}}).ok());    // empty
+  EXPECT_FALSE(Partition::FromBlocks(2, {{0, 5}}).ok());           // range
+}
+
+TEST(PartitionTest, RefinesBasics) {
+  const Partition fine = Partition::FromLabels({0, 1, 2, 3});
+  const Partition mid = Partition::FromLabels({0, 0, 1, 2});
+  const Partition coarse = Partition::FromLabels({0, 0, 0, 1});
+  EXPECT_TRUE(fine.Refines(mid));
+  EXPECT_TRUE(mid.Refines(coarse));
+  EXPECT_TRUE(fine.Refines(coarse));
+  EXPECT_FALSE(coarse.Refines(mid));
+  EXPECT_TRUE(mid.Refines(mid));
+  EXPECT_TRUE(mid.StrictlyRefines(coarse));
+  EXPECT_FALSE(mid.StrictlyRefines(mid));
+}
+
+TEST(PartitionTest, IncomparableElements) {
+  const Partition a = Partition::FromLabels({0, 0, 1, 2});
+  const Partition b = Partition::FromLabels({0, 1, 1, 2});
+  EXPECT_FALSE(a.Refines(b));
+  EXPECT_FALSE(b.Refines(a));
+}
+
+TEST(PartitionTest, MeetAndJoinExamples) {
+  const Partition a = Partition::FromLabels({0, 0, 1, 1});  // {01|23}
+  const Partition b = Partition::FromLabels({0, 1, 1, 0});  // {03|12}
+  EXPECT_EQ(a.Meet(b), Partition::Singletons(4));
+  EXPECT_EQ(a.Join(b), Partition::Top(4));
+}
+
+TEST(PartitionTest, BlocksAndPairs) {
+  const Partition p = Partition::FromLabels({0, 1, 0, 2, 1});
+  EXPECT_EQ(p.Blocks(),
+            (std::vector<std::vector<size_t>>{{0, 2}, {1, 4}, {3}}));
+  EXPECT_EQ(p.Pairs(), (std::vector<std::pair<size_t, size_t>>{{0, 2},
+                                                               {1, 4}}));
+  EXPECT_EQ(p.GeneratorPairs(),
+            (std::vector<std::pair<size_t, size_t>>{{0, 2}, {1, 4}}));
+}
+
+TEST(PartitionTest, GeneratorPairsSpanBlocks) {
+  const Partition p = Partition::FromLabels({0, 0, 0, 0});
+  // 3 generators suffice for a 4-element block (spanning tree).
+  EXPECT_EQ(p.GeneratorPairs().size(), 3u);
+  EXPECT_EQ(Partition::FromPairs(4, p.GeneratorPairs()).value(), p);
+}
+
+// ---- Lattice laws, verified exhaustively over all partitions of 4 and 5 --
+
+class LatticeLawsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LatticeLawsTest, MeetAndJoinLaws) {
+  const auto all = AllPartitions(GetParam());
+  for (const Partition& a : all) {
+    // Idempotence.
+    EXPECT_EQ(a.Meet(a), a);
+    EXPECT_EQ(a.Join(a), a);
+    for (const Partition& b : all) {
+      const Partition meet = a.Meet(b);
+      const Partition join = a.Join(b);
+      // Commutativity.
+      EXPECT_EQ(meet, b.Meet(a));
+      EXPECT_EQ(join, b.Join(a));
+      // Meet is the greatest lower bound; join the least upper bound.
+      EXPECT_TRUE(meet.Refines(a));
+      EXPECT_TRUE(meet.Refines(b));
+      EXPECT_TRUE(a.Refines(join));
+      EXPECT_TRUE(b.Refines(join));
+      // Absorption.
+      EXPECT_EQ(a.Meet(a.Join(b)), a);
+      EXPECT_EQ(a.Join(a.Meet(b)), a);
+      // Connection between order and operations.
+      EXPECT_EQ(a.Refines(b), a.Meet(b) == a);
+      EXPECT_EQ(a.Refines(b), a.Join(b) == b);
+    }
+  }
+}
+
+TEST_P(LatticeLawsTest, MeetJoinAssociativityOnSample) {
+  const auto all = AllPartitions(GetParam());
+  util::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Partition& a = rng.PickOne(all);
+    const Partition& b = rng.PickOne(all);
+    const Partition& c = rng.PickOne(all);
+    EXPECT_EQ(a.Meet(b.Meet(c)), a.Meet(b).Meet(c));
+    EXPECT_EQ(a.Join(b.Join(c)), a.Join(b).Join(c));
+  }
+}
+
+TEST_P(LatticeLawsTest, GlbProperty) {
+  // Meet is the *greatest* lower bound: any common refinement refines it.
+  const auto all = AllPartitions(GetParam());
+  for (const Partition& a : all) {
+    for (const Partition& b : all) {
+      const Partition meet = a.Meet(b);
+      for (const Partition& c : all) {
+        if (c.Refines(a) && c.Refines(b)) {
+          EXPECT_TRUE(c.Refines(meet));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallUniverses, LatticeLawsTest,
+                         ::testing::Values(3, 4, 5));
+
+TEST(PartitionOrderTest, BottomAndTopAreExtremes) {
+  for (size_t n : {1u, 3u, 6u}) {
+    const Partition bottom = Partition::Singletons(n);
+    const Partition top = Partition::Top(n);
+    VisitAllPartitions(n, [&](const Partition& p) {
+      EXPECT_TRUE(bottom.Refines(p));
+      EXPECT_TRUE(p.Refines(top));
+      return true;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace jim::lat

@@ -1,0 +1,75 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+namespace jim::rel {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_EQ(Value(std::string("hi")).type(), ValueType::kString);
+}
+
+TEST(ValueTest, StrictEquality) {
+  EXPECT_TRUE(Value(int64_t{1}).Equals(Value(int64_t{1})));
+  EXPECT_FALSE(Value(int64_t{1}).Equals(Value(int64_t{2})));
+  EXPECT_TRUE(Value("a").Equals(Value("a")));
+  EXPECT_FALSE(Value("a").Equals(Value("b")));
+  // Cross-type: never equal, even numerically.
+  EXPECT_FALSE(Value(int64_t{1}).Equals(Value(1.0)));
+  EXPECT_FALSE(Value("1").Equals(Value(int64_t{1})));
+}
+
+TEST(ValueTest, NullNeverEqualsAnything) {
+  // SQL semantics: NULL = NULL is not true; a join never matches on NULLs.
+  EXPECT_FALSE(Value().Equals(Value()));
+  EXPECT_FALSE(Value().Equals(Value(int64_t{0})));
+  EXPECT_FALSE(Value(int64_t{0}).Equals(Value()));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  // Nulls first, then by type id, then payload.
+  EXPECT_LT(Value().Compare(Value(int64_t{0})), 0);
+  EXPECT_LT(Value(int64_t{5}).Compare(Value(int64_t{9})), 0);
+  EXPECT_GT(Value(int64_t{9}).Compare(Value(int64_t{5})), 0);
+  EXPECT_EQ(Value(int64_t{5}).Compare(Value(int64_t{5})), 0);
+  EXPECT_EQ(Value().Compare(Value()), 0);  // for ordering only
+  EXPECT_LT(Value(int64_t{999}).Compare(Value(0.5)), 0);  // int type < double
+  EXPECT_LT(Value(99.9).Compare(Value("a")), 0);          // double < string
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value("Paris").ToString(), "Paris");
+}
+
+TEST(ValueTest, SqlLiterals) {
+  EXPECT_EQ(Value().ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value(int64_t{3}).ToSqlLiteral(), "3");
+  EXPECT_EQ(Value("Paris").ToSqlLiteral(), "'Paris'");
+  EXPECT_EQ(Value("O'Hare").ToSqlLiteral(), "'O''Hare'");
+}
+
+TEST(ParseValueAsTest, TypedParsing) {
+  EXPECT_EQ(ParseValueAs("42", ValueType::kInt64).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(ParseValueAs("2.5", ValueType::kDouble).AsDouble(), 2.5);
+  EXPECT_EQ(ParseValueAs("hi", ValueType::kString).AsString(), "hi");
+  EXPECT_TRUE(ParseValueAs("", ValueType::kInt64).is_null());
+  EXPECT_TRUE(ParseValueAs("", ValueType::kString).is_null());
+}
+
+}  // namespace
+}  // namespace jim::rel

@@ -1,0 +1,84 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace jim::util {
+namespace {
+
+TEST(ParseCsvLineTest, PlainFields) {
+  EXPECT_EQ(ParseCsvLine("a,b,c").value(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ParseCsvLine("a").value(), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(ParseCsvLine("").value(), (std::vector<std::string>{""}));
+  EXPECT_EQ(ParseCsvLine("a,,c").value(),
+            (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(ParseCsvLineTest, QuotedFields) {
+  EXPECT_EQ(ParseCsvLine(R"("a,b",c)").value(),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(ParseCsvLine(R"("he said ""hi""",x)").value(),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+  EXPECT_EQ(ParseCsvLine(R"("")").value(), (std::vector<std::string>{""}));
+}
+
+TEST(ParseCsvLineTest, Errors) {
+  EXPECT_FALSE(ParseCsvLine(R"("unterminated)").ok());
+  EXPECT_FALSE(ParseCsvLine(R"(ab"cd)").ok());
+}
+
+TEST(ParseCsvTest, MultipleRecords) {
+  const auto records = ParseCsv("a,b\nc,d\ne,f\n").value();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(records[2], (std::vector<std::string>{"e", "f"}));
+}
+
+TEST(ParseCsvTest, CrLfAndNoTrailingNewline) {
+  const auto records = ParseCsv("a,b\r\nc,d").value();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsvTest, QuotedNewlineInsideField) {
+  const auto records = ParseCsv("a,\"line1\nline2\"\nb,c\n").value();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0][1], "line1\nline2");
+}
+
+TEST(ParseCsvTest, SkipsUtf8Bom) {
+  const auto records = ParseCsv("\xEF\xBB\xBFx,y\n").value();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0][0], "x");
+}
+
+TEST(FormatCsvLineTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(FormatCsvLine({"a", "b"}), "a,b");
+  EXPECT_EQ(FormatCsvLine({"a,b", "c"}), "\"a,b\",c");
+  EXPECT_EQ(FormatCsvLine({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(FormatCsvLine({"multi\nline"}), "\"multi\nline\"");
+}
+
+TEST(FormatCsvLineTest, RoundTripsThroughParse) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with \"quotes\"", "", "new\nline"};
+  EXPECT_EQ(ParseCsvLine(FormatCsvLine(fields)).value(), fields);
+}
+
+TEST(FileIoTest, WriteThenRead) {
+  const std::string path = ::testing::TempDir() + "/jim_csv_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsNotFound) {
+  const auto result = ReadFileToString("/nonexistent/path/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace jim::util
