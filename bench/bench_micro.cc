@@ -1,20 +1,37 @@
-// Experiment M1 (DESIGN.md): engineering microbenchmarks (google-benchmark).
+// Experiment M1 (DESIGN.md): engineering microbenchmarks.
 // Latency of the primitives everything else is built from: partition
 // algebra, tuple-partition extraction, engine construction, label
 // propagation, and one full strategy decision.
+//
+// Self-contained harness (no external benchmark library): each case is
+// calibrated to run for a minimum wall time, then reported as ns/op both as
+// a human-readable table and as machine-readable BENCH_micro.json written
+// via util::JsonWriter — the seed of the perf trajectory.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "core/jim.h"
 #include "lattice/enumeration.h"
 #include "lattice/partition.h"
+#include "util/json_writer.h"
 #include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
 #include "workload/synthetic.h"
 #include "workload/travel.h"
 
 namespace {
 
 using namespace jim;
+using bench::BenchResult;
+using bench::DoNotOptimize;
+using bench::RunBench;
 
 lat::Partition RandomPartition(size_t n, util::Rng& rng) {
   std::vector<int> labels(n);
@@ -24,141 +41,174 @@ lat::Partition RandomPartition(size_t n, util::Rng& rng) {
   return lat::Partition::FromLabels(labels);
 }
 
-void BM_PartitionMeet(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  util::Rng rng(1);
-  const lat::Partition a = RandomPartition(n, rng);
-  const lat::Partition b = RandomPartition(n, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.Meet(b));
-  }
-}
-BENCHMARK(BM_PartitionMeet)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
-
-void BM_PartitionJoin(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  util::Rng rng(2);
-  const lat::Partition a = RandomPartition(n, rng);
-  const lat::Partition b = RandomPartition(n, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.Join(b));
-  }
-}
-BENCHMARK(BM_PartitionJoin)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
-
-void BM_PartitionRefines(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  util::Rng rng(3);
-  const lat::Partition a = RandomPartition(n, rng);
-  const lat::Partition b = a.Join(RandomPartition(n, rng));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.Refines(b));
-  }
-}
-BENCHMARK(BM_PartitionRefines)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
-
-void BM_TuplePartition(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  util::Rng rng(4);
-  rel::Tuple tuple;
-  for (size_t i = 0; i < n; ++i) {
-    tuple.push_back(rel::Value(rng.UniformInt(0, 4)));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::TuplePartition(tuple));
-  }
-}
-BENCHMARK(BM_TuplePartition)->Arg(5)->Arg(10)->Arg(20);
-
-void BM_BellNumber(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(lat::BellNumber(20));
-  }
-}
-BENCHMARK(BM_BellNumber);
-
-void BM_EngineBuild(benchmark::State& state) {
-  const size_t tuples = static_cast<size_t>(state.range(0));
-  util::Rng rng(5);
+workload::SyntheticWorkload MakeSynthetic(size_t tuples, uint64_t seed) {
+  util::Rng rng(seed);
   workload::SyntheticSpec spec;
   spec.num_tuples = tuples;
   spec.num_attributes = 6;
   spec.domain_size = 6;
-  const auto workload = workload::MakeSyntheticWorkload(spec, rng);
-  for (auto _ : state) {
-    core::InferenceEngine engine(workload.instance);
-    benchmark::DoNotOptimize(engine.num_classes());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(tuples));
+  return workload::MakeSyntheticWorkload(spec, rng);
 }
-BENCHMARK(BM_EngineBuild)->Arg(1000)->Arg(10000)->Arg(100000);
 
-void BM_LabelPropagation(benchmark::State& state) {
-  const size_t tuples = static_cast<size_t>(state.range(0));
-  util::Rng rng(6);
-  workload::SyntheticSpec spec;
-  spec.num_tuples = tuples;
-  spec.num_attributes = 6;
-  spec.domain_size = 6;
-  const auto workload = workload::MakeSyntheticWorkload(spec, rng);
-  const core::InferenceEngine prototype(workload.instance);
-  for (auto _ : state) {
-    state.PauseTiming();
-    core::InferenceEngine engine = prototype;
-    const auto informative = engine.InformativeClasses();
-    state.ResumeTiming();
-    (void)engine.SubmitClassLabel(informative[informative.size() / 2],
-                                  core::Label::kPositive);
-    benchmark::DoNotOptimize(engine.NumInformativeTuples());
+void RegisterAll(std::vector<BenchResult>& results) {
+  // One size sweep per partition operation. `op` is a generic callable (not
+  // std::function) so the benchmarked body still inlines into the timed
+  // loop; Refines gets `b` coarsened so the refinement actually holds.
+  const auto partition_sweep = [&results](const char* name, uint64_t seed,
+                                          bool coarsen_b, const auto& op) {
+    for (size_t n : {5, 10, 20, 40}) {
+      util::Rng rng(seed);
+      const lat::Partition a = RandomPartition(n, rng);
+      const lat::Partition b = coarsen_b ? a.Join(RandomPartition(n, rng))
+                                         : RandomPartition(n, rng);
+      results.push_back(RunBench(name, static_cast<int64_t>(n),
+                                 [&] { DoNotOptimize(op(a, b)); }));
+    }
+  };
+  partition_sweep("PartitionMeet", 1, false,
+                  [](const lat::Partition& a, const lat::Partition& b) {
+                    return a.Meet(b);
+                  });
+  partition_sweep("PartitionJoin", 2, false,
+                  [](const lat::Partition& a, const lat::Partition& b) {
+                    return a.Join(b);
+                  });
+  partition_sweep("PartitionRefines", 3, true,
+                  [](const lat::Partition& a, const lat::Partition& b) {
+                    return a.Refines(b);
+                  });
+  for (size_t n : {5, 10, 20}) {
+    util::Rng rng(4);
+    rel::Tuple tuple;
+    for (size_t i = 0; i < n; ++i) {
+      tuple.push_back(rel::Value(rng.UniformInt(0, 4)));
+    }
+    results.push_back(RunBench("TuplePartition", static_cast<int64_t>(n),
+                               [&] { DoNotOptimize(core::TuplePartition(tuple)); }));
+  }
+  results.push_back(
+      RunBench("BellNumber", -1, [] { DoNotOptimize(lat::BellNumber(20)); }));
+  for (size_t tuples : {1000, 10000, 100000}) {
+    const auto workload = MakeSynthetic(tuples, 5);
+    results.push_back(RunBench("EngineBuild", static_cast<int64_t>(tuples), [&] {
+      core::InferenceEngine engine(workload.instance);
+      DoNotOptimize(engine.num_classes());
+    }));
+  }
+  for (size_t tuples : {1000, 10000}) {
+    const auto workload = MakeSynthetic(tuples, 6);
+    const core::InferenceEngine prototype(workload.instance);
+    // The propagation target is chosen once, outside the timed body.
+    const auto informative = prototype.InformativeClasses();
+    const size_t target = informative[informative.size() / 2];
+    // Each iteration needs a fresh engine, so the copy is unavoidably inside
+    // the loop; EngineCopy measures it alone so it can be subtracted.
+    const BenchResult copy =
+        RunBench("EngineCopy", static_cast<int64_t>(tuples), [&] {
+          core::InferenceEngine engine = prototype;
+          DoNotOptimize(engine.num_classes());
+        });
+    const BenchResult gross =
+        RunBench("LabelPropagation", static_cast<int64_t>(tuples), [&] {
+          core::InferenceEngine engine = prototype;
+          (void)engine.SubmitClassLabel(target, core::Label::kPositive);
+          DoNotOptimize(engine.NumInformativeTuples());
+        });
+    // Copy-corrected propagation cost, so cross-commit comparison tracks
+    // SubmitClassLabel itself rather than the engine copy above.
+    BenchResult net;
+    net.name = "LabelPropagationNet";
+    net.arg = gross.arg;
+    net.iterations = gross.iterations;
+    net.ns_per_op = std::max(0.0, gross.ns_per_op - copy.ns_per_op);
+    results.push_back(copy);
+    results.push_back(gross);
+    results.push_back(net);
+  }
+  const auto strategy_sweep = [&results](const char* name,
+                                         const char* strategy_name,
+                                         uint64_t seed) {
+    for (size_t tuples : {1000, 10000}) {
+      const auto workload = MakeSynthetic(tuples, seed);
+      core::InferenceEngine engine(workload.instance);
+      auto strategy = core::MakeStrategy(strategy_name).value();
+      results.push_back(
+          RunBench(name, static_cast<int64_t>(tuples),
+                   [&] { DoNotOptimize(strategy->PickClass(engine)); }));
+    }
+  };
+  strategy_sweep("LookaheadDecision", "lookahead-entropy", 7);
+  strategy_sweep("LocalDecision", "local-bottom-up", 8);
+  {
+    auto instance = workload::Figure1InstancePtr();
+    const auto goal =
+        core::JoinPredicate::Parse(instance->schema(), workload::kQ2).value();
+    results.push_back(RunBench("Figure1FullSession", -1, [&] {
+      auto strategy = core::MakeStrategy("lookahead-entropy").value();
+      DoNotOptimize(core::RunSession(instance, goal, *strategy).interactions);
+    }));
   }
 }
-BENCHMARK(BM_LabelPropagation)->Arg(1000)->Arg(10000);
 
-void BM_LookaheadDecision(benchmark::State& state) {
-  const size_t tuples = static_cast<size_t>(state.range(0));
-  util::Rng rng(7);
-  workload::SyntheticSpec spec;
-  spec.num_tuples = tuples;
-  spec.num_attributes = 6;
-  spec.domain_size = 6;
-  const auto workload = workload::MakeSyntheticWorkload(spec, rng);
-  core::InferenceEngine engine(workload.instance);
-  auto strategy = core::MakeStrategy("lookahead-entropy").value();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(strategy->PickClass(engine));
+bool WriteJson(const std::vector<BenchResult>& results,
+               const std::string& path) {
+  util::JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("benchmark", "micro");
+  json.Key("results");
+  json.BeginArray();
+  for (const auto& r : results) {
+    json.BeginObject();
+    json.KeyValue("name", r.name);
+    if (r.arg >= 0) json.KeyValue("arg", r.arg);
+    json.KeyValue("iterations", r.iterations);
+    json.KeyValue("ns_per_op", r.ns_per_op);
+    json.EndObject();
   }
+  json.EndArray();
+  json.EndObject();
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  out.flush();
+  return out.good();
 }
-BENCHMARK(BM_LookaheadDecision)->Arg(1000)->Arg(10000);
-
-void BM_LocalDecision(benchmark::State& state) {
-  const size_t tuples = static_cast<size_t>(state.range(0));
-  util::Rng rng(8);
-  workload::SyntheticSpec spec;
-  spec.num_tuples = tuples;
-  spec.num_attributes = 6;
-  spec.domain_size = 6;
-  const auto workload = workload::MakeSyntheticWorkload(spec, rng);
-  core::InferenceEngine engine(workload.instance);
-  auto strategy = core::MakeStrategy("local-bottom-up").value();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(strategy->PickClass(engine));
-  }
-}
-BENCHMARK(BM_LocalDecision)->Arg(1000)->Arg(10000);
-
-void BM_Figure1FullSession(benchmark::State& state) {
-  auto instance = workload::Figure1InstancePtr();
-  const auto goal =
-      core::JoinPredicate::Parse(instance->schema(), workload::kQ2).value();
-  for (auto _ : state) {
-    auto strategy = core::MakeStrategy("lookahead-entropy").value();
-    benchmark::DoNotOptimize(
-        core::RunSession(instance, goal, *strategy).interactions);
-  }
-}
-BENCHMARK(BM_Figure1FullSession);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_micro.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_micro: --out requires a path\n";
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      std::cerr << "bench_micro: unknown argument '" << arg
+                << "' (usage: bench_micro [--out PATH])\n";
+      return 2;
+    }
+  }
+
+  std::vector<BenchResult> results;
+  RegisterAll(results);
+
+  jim::util::TablePrinter table({"benchmark", "arg", "iterations", "ns/op"});
+  table.SetAlignments({jim::util::Align::kLeft, jim::util::Align::kRight,
+                       jim::util::Align::kRight, jim::util::Align::kRight});
+  for (const auto& r : results) {
+    table.AddRow({r.name, r.arg >= 0 ? std::to_string(r.arg) : "-",
+                  std::to_string(r.iterations),
+                  jim::util::StrFormat("%.1f", r.ns_per_op)});
+  }
+  std::cout << table.ToString();
+
+  if (!WriteJson(results, json_path)) {
+    std::cerr << "bench_micro: failed to write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

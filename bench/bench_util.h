@@ -1,15 +1,70 @@
 #ifndef JIM_BENCH_BENCH_UTIL_H_
 #define JIM_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace jim::bench {
+
+/// Keeps `value` observable so the compiler cannot elide a benchmarked call.
+/// clang rejects non-trivially-copyable operands under the "g" constraint,
+/// so it gets the memory-operand form (the named parameter is an lvalue, so
+/// "m" is always satisfiable).
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+#if defined(__clang__)
+  asm volatile("" : : "m"(value) : "memory");
+#else
+  asm volatile("" : : "g"(value) : "memory");
+#endif
+}
+
+/// One measured microbenchmark case.
+struct BenchResult {
+  std::string name;
+  int64_t arg = -1;  // -1 when the benchmark takes no size parameter
+  size_t iterations = 0;
+  double ns_per_op = 0;
+};
+
+/// Runs `body` repeatedly until at least `min_seconds` of wall time has
+/// accumulated (with geometric iteration growth), then reports the mean
+/// latency per call. Templated on the callable so the body inlines into the
+/// timed loop (a std::function indirection would bias nanosecond-scale
+/// cases).
+template <typename Body>
+BenchResult RunBench(const std::string& name, int64_t arg, const Body& body,
+                     double min_seconds = 0.05) {
+  size_t iterations = 1;
+  double elapsed = 0;
+  size_t total_iterations = 0;
+  util::Stopwatch total;
+  for (;;) {
+    util::Stopwatch watch;
+    for (size_t i = 0; i < iterations; ++i) body();
+    elapsed = watch.ElapsedSeconds();
+    total_iterations = iterations;
+    if (elapsed >= min_seconds || total.ElapsedSeconds() > 2.0) break;
+    const double scale = elapsed > 0 ? (1.4 * min_seconds / elapsed) : 10.0;
+    iterations = static_cast<size_t>(static_cast<double>(iterations) *
+                                     std::min(scale, 10.0)) +
+                 1;
+  }
+  BenchResult result;
+  result.name = name;
+  result.arg = arg;
+  result.iterations = total_iterations;
+  result.ns_per_op = elapsed * 1e9 /
+                     static_cast<double>(std::max<size_t>(total_iterations, 1));
+  return result;
+}
 
 /// Mean and sample standard deviation of a series.
 struct Series {

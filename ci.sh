@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verify (must match ROADMAP.md): configure, build, run the full
+# GoogleTest suite. Exits non-zero on the first failure.
+set -euxo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -S .
+cmake --build build -j
+cd build && ctest --output-on-failure -j"$(nproc)"

@@ -28,6 +28,7 @@
 #include "ui/demo_runner.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "workload/travel.h"
 
 namespace {
 
@@ -76,6 +77,27 @@ util::StatusOr<std::shared_ptr<const rel::Relation>> LoadInstance(
   auto relation = rel::LoadRelationFromCsvFile(flags.positional[0]);
   if (!relation.ok()) return relation.status();
   return std::make_shared<const rel::Relation>(*std::move(relation));
+}
+
+// No-argument default: auto-infer Q2 on the bundled Figure 1 instance, so
+// the binary demonstrates itself (and CI can run it) without needing a CSV.
+int CmdDemo() {
+  std::cout << "jim_cli: no command given — running the built-in Figure 1 "
+               "demo (auto mode).\n"
+               "usage: jim_cli {infer|classes|eval|strategies} ...  "
+               "(see the header of examples/jim_cli.cpp)\n\n";
+  auto instance = workload::Figure1InstancePtr();
+  auto goal =
+      core::JoinPredicate::Parse(instance->schema(), workload::kQ2).value();
+  ui::DemoOptions options;
+  options.strategy = "lookahead-entropy";
+  options.auto_oracle = std::make_unique<core::ExactOracle>(goal);
+  auto result =
+      ui::RunConsoleDemo(instance, std::move(options), std::cin, std::cout);
+  if (!result.ok()) return Fail(result.status().ToString());
+  const bool identified = core::InstanceEquivalent(*instance, *result, goal);
+  std::cout << "identified the goal: " << (identified ? "yes" : "NO") << "\n";
+  return identified ? 0 : 1;
 }
 
 int CmdStrategies() {
@@ -151,9 +173,9 @@ int CmdInfer(const Flags& flags) {
 
   ui::DemoOptions options;
   options.strategy = flags.Get("strategy", "lookahead-entropy");
-  const int mode = std::stoi(flags.Get("mode", "4"));
-  if (mode < 1 || mode > 4) return Fail("--mode must be 1..4");
-  options.mode = static_cast<core::InteractionMode>(mode);
+  const auto mode_or = core::ParseInteractionMode(flags.Get("mode", "4"));
+  if (!mode_or.ok()) return Fail("--mode: " + mode_or.status().message());
+  options.mode = *mode_or;
 
   std::optional<core::JoinPredicate> goal;
   if (flags.Has("goal")) {
@@ -183,11 +205,7 @@ int CmdInfer(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: jim_cli {infer|classes|eval|strategies} ...\n"
-                 "       (see the header of examples/jim_cli.cpp)\n";
-    return 2;
-  }
+  if (argc < 2) return CmdDemo();
   const std::string command = argv[1];
   const Flags flags = ParseFlags(argc, argv, 2);
   if (command == "strategies") return CmdStrategies();

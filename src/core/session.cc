@@ -6,6 +6,7 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace jim::core {
 
@@ -21,6 +22,15 @@ std::string_view InteractionModeToString(InteractionMode mode) {
       return "4-most-informative";
   }
   return "?";
+}
+
+util::StatusOr<InteractionMode> ParseInteractionMode(std::string_view text) {
+  const auto number = util::ParseInt64(text);
+  if (!number.ok() || *number < 1 || *number > 4) {
+    return util::InvalidArgumentError("must be a number 1..4 (got '" +
+                                      std::string(text) + "')");
+  }
+  return static_cast<InteractionMode>(*number);
 }
 
 namespace {

@@ -34,6 +34,11 @@ enum class InteractionMode {
 
 std::string_view InteractionModeToString(InteractionMode mode);
 
+/// Strictly parses a user-supplied interaction-mode number ("1".."4");
+/// rejects non-numbers, trailing garbage, and out-of-range values. Shared by
+/// the example CLIs so their --mode flags validate identically.
+util::StatusOr<InteractionMode> ParseInteractionMode(std::string_view text);
+
 /// One question/answer exchange in a session trace.
 struct SessionStep {
   size_t class_id = 0;

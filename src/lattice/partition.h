@@ -105,6 +105,9 @@ class Partition {
   friend bool operator==(const Partition& a, const Partition& b) {
     return a.block_of_ == b.block_of_;
   }
+  friend bool operator!=(const Partition& a, const Partition& b) {
+    return !(a == b);
+  }
   /// Lexicographic order on the RGS — an arbitrary but stable total order
   /// (used for deterministic tie-breaking; unrelated to refinement).
   friend bool operator<(const Partition& a, const Partition& b) {

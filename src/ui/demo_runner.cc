@@ -156,8 +156,7 @@ util::StatusOr<core::JoinPredicate> RunConsoleDemo(
     } else {
       const auto command = ReadCommand(in, out, prompt);
       if (!command.has_value()) {
-        return util::FailedPreconditionError(
-            "input ended before the join query was identified");
+        return util::FailedPreconditionError(std::string(kInputEndedMessage));
       }
       answer = ParseAnswer(*command);
       if (!answer.has_value()) {
@@ -168,7 +167,7 @@ util::StatusOr<core::JoinPredicate> RunConsoleDemo(
 
     switch (answer->kind) {
       case ParsedAnswer::Kind::kQuit:
-        return util::FailedPreconditionError("user quit before completion");
+        return util::FailedPreconditionError(std::string(kUserQuitMessage));
       case ParsedAnswer::Kind::kShowTable:
         out << RenderInstance(engine, render);
         continue;

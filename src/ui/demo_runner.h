@@ -4,6 +4,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "core/jim.h"
 #include "ui/console_ui.h"
@@ -23,6 +24,14 @@ struct DemoOptions {
   std::unique_ptr<core::Oracle> auto_oracle;
   uint64_t seed = 11;
 };
+
+/// Error messages RunConsoleDemo returns for the two premature-end cases.
+/// Exported so callers can distinguish "stdin ran dry" (safe to fall back to
+/// a simulated user) from a deliberate quit — both are FAILED_PRECONDITION.
+inline constexpr std::string_view kInputEndedMessage =
+    "input ended before the join query was identified";
+inline constexpr std::string_view kUserQuitMessage =
+    "user quit before completion";
 
 /// Drives one inference session over `relation` through the console:
 /// renders the instance, asks membership questions (reading "+", "-",

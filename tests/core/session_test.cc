@@ -40,6 +40,18 @@ TEST_P(ModeTest, IdentifiesGoal) {
 
 INSTANTIATE_TEST_SUITE_P(AllModes, ModeTest, ::testing::Values(1, 2, 3, 4));
 
+TEST(SessionTest, ParseInteractionModeIsStrict) {
+  EXPECT_EQ(ParseInteractionMode("1").value(), InteractionMode::kLabelAll);
+  EXPECT_EQ(ParseInteractionMode("4").value(),
+            InteractionMode::kMostInformative);
+  EXPECT_FALSE(ParseInteractionMode("0").ok());
+  EXPECT_FALSE(ParseInteractionMode("5").ok());
+  EXPECT_FALSE(ParseInteractionMode("2x").ok());  // no partial parses
+  EXPECT_FALSE(ParseInteractionMode("abc").ok());
+  EXPECT_FALSE(ParseInteractionMode("").ok());
+  EXPECT_FALSE(ParseInteractionMode("99999999999999999999").ok());
+}
+
 TEST(SessionTest, Mode1CanWasteEffortOthersCannot) {
   const Fixture fixture;
   for (int mode = 2; mode <= 4; ++mode) {

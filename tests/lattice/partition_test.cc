@@ -21,6 +21,22 @@ TEST(PartitionTest, SingletonsAndTop) {
   EXPECT_EQ(top.ToString(), "{0,1,2,3}");
 }
 
+TEST(PartitionTest, EqualityOperators) {
+  // Regression: StrictlyRefines is implemented via `*this != other`, and
+  // C++17 does not synthesize operator!= from operator== — the seed shipped
+  // without it and failed to compile.
+  const Partition a = Partition::FromLabels({0, 0, 1});
+  const Partition b = Partition::FromLabels({5, 5, 2});  // same block set
+  const Partition c = Partition::FromLabels({0, 1, 1});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a != b);
+  EXPECT_TRUE(a != c);
+  EXPECT_FALSE(a == c);
+  // Equal partitions refine but never strictly refine each other.
+  EXPECT_TRUE(a.Refines(b));
+  EXPECT_FALSE(a.StrictlyRefines(b));
+}
+
 TEST(PartitionTest, EmptyPartition) {
   const Partition empty;
   EXPECT_EQ(empty.num_elements(), 0u);
