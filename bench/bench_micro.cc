@@ -20,6 +20,7 @@
 #include "lattice/enumeration.h"
 #include "lattice/partition.h"
 #include "util/json_writer.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -81,7 +82,9 @@ void RegisterAll(std::vector<BenchResult>& results) {
     util::Rng rng(4);
     rel::Tuple tuple;
     for (size_t i = 0; i < n; ++i) {
-      tuple.push_back(rel::Value(rng.UniformInt(0, 4)));
+      // In-place construction: moving a temporary Value trips GCC 12's
+      // variant/string -Wmaybe-uninitialized false positive under -Werror.
+      tuple.emplace_back(rng.UniformInt(0, 4));
     }
     results.push_back(RunBench("TuplePartition", static_cast<int64_t>(n),
                                [&] { DoNotOptimize(core::TuplePartition(tuple)); }));
@@ -100,6 +103,7 @@ void RegisterAll(std::vector<BenchResult>& results) {
     const core::InferenceEngine prototype(workload.instance);
     // The propagation target is chosen once, outside the timed body.
     const auto informative = prototype.InformativeClasses();
+    JIM_CHECK(!informative.empty());
     const size_t target = informative[informative.size() / 2];
     // Each iteration needs a fresh engine, so the copy is unavoidably inside
     // the loop; EngineCopy measures it alone so it can be subtracted.
@@ -125,6 +129,24 @@ void RegisterAll(std::vector<BenchResult>& results) {
     results.push_back(gross);
     results.push_back(net);
   }
+  // Both-label impact of one candidate class — the inner loop of every
+  // lookahead strategy (per candidate it needs the impact of both answers).
+  // Measures the production path (SimulateLabelBoth over the cached
+  // knowledge partitions); the pre-kernel baseline for the same metric was
+  // two naive SimulateLabel calls.
+  for (size_t tuples : {1000, 10000}) {
+    const auto workload = MakeSynthetic(tuples, 6);
+    const core::InferenceEngine engine(workload.instance);
+    const auto informative = engine.InformativeClasses();
+    JIM_CHECK(!informative.empty());
+    const size_t target = informative[informative.size() / 2];
+    results.push_back(
+        RunBench("EngineSimulateLabel", static_cast<int64_t>(tuples), [&] {
+          const auto both = engine.SimulateLabelBoth(target);
+          DoNotOptimize(both.positive.pruned_tuples +
+                        both.negative.pruned_tuples);
+        }));
+  }
   const auto strategy_sweep = [&results](const char* name,
                                          const char* strategy_name,
                                          uint64_t seed) {
@@ -137,8 +159,31 @@ void RegisterAll(std::vector<BenchResult>& results) {
                    [&] { DoNotOptimize(strategy->PickClass(engine)); }));
     }
   };
-  strategy_sweep("LookaheadDecision", "lookahead-entropy", 7);
+  strategy_sweep("LookaheadPickClass", "lookahead-entropy", 7);
   strategy_sweep("LocalDecision", "local-bottom-up", 8);
+  // Full minimax solves on instances small enough for the exponential
+  // strategy: exercises the memo-table key path hard.
+  {
+    auto instance = workload::Figure1InstancePtr();
+    const core::InferenceEngine engine(instance);
+    results.push_back(RunBench("OptimalSolve", -1, [&] {
+      DoNotOptimize(core::OptimalWorstCaseQuestions(engine));
+    }));
+  }
+  for (size_t tuples : {25, 40}) {
+    util::Rng rng(static_cast<uint64_t>(44 + tuples));
+    workload::SyntheticSpec spec;
+    spec.num_tuples = tuples;
+    spec.num_attributes = 4;
+    spec.domain_size = 3;
+    spec.goal_constraints = 2;
+    const auto workload = workload::MakeSyntheticWorkload(spec, rng);
+    const core::InferenceEngine engine(workload.instance);
+    results.push_back(
+        RunBench("OptimalSolve", static_cast<int64_t>(tuples), [&] {
+          DoNotOptimize(core::OptimalWorstCaseQuestions(engine));
+        }));
+  }
   {
     auto instance = workload::Figure1InstancePtr();
     const auto goal =

@@ -3,6 +3,7 @@
 // join, JIM works over the (sampled) universal table of the involved
 // relations and must identify the join from membership answers alone.
 
+#include <cstring>
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -12,12 +13,45 @@
 #include "util/table_printer.h"
 #include "workload/tpch.h"
 
-int main() {
+namespace {
+
+/// A reduced TPC-H spec for --quick: the same eight relations and
+/// key/foreign-key shape, an order of magnitude fewer rows — the whole sweep
+/// finishes in a few seconds, so it fits CI budgets.
+jim::workload::TpchSpec QuickSpec() {
+  jim::workload::TpchSpec spec;
+  spec.num_regions = 3;
+  spec.num_nations = 8;
+  spec.num_suppliers = 6;
+  spec.num_customers = 12;
+  spec.num_parts = 10;
+  spec.num_partsupp_per_part = 2;
+  spec.num_orders = 25;
+  spec.num_lineitems_per_order = 2;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace jim;
 
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::cerr << "bench_tpch: unknown argument '" << argv[i]
+                << "' (usage: bench_tpch [--quick])\n";
+      return 2;
+    }
+  }
+
   util::Rng rng(2026);
-  const rel::Catalog catalog = workload::MakeTpchCatalog({}, rng);
-  std::cout << "== S3: TPC-H join-inference scenarios ==\n(catalog: ";
+  const rel::Catalog catalog =
+      workload::MakeTpchCatalog(quick ? QuickSpec() : workload::TpchSpec{}, rng);
+  std::cout << "== S3: TPC-H join-inference scenarios"
+            << (quick ? " (--quick)" : "") << " ==\n(catalog: ";
   for (const std::string& name : catalog.Names()) std::cout << name << " ";
   std::cout << ")\n\n";
 
@@ -32,7 +66,7 @@ int main() {
 
   for (const workload::TpchScenario& scenario : workload::TpchScenarios()) {
     query::UniversalTableOptions options;
-    options.sample_cap = 20'000;
+    options.sample_cap = quick ? 2'000 : 20'000;
     options.seed = 606;
     auto table_or =
         query::UniversalTable::Build(catalog, scenario.relations, options);

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "util/logging.h"
@@ -62,54 +63,91 @@ void InferenceEngine::BuildClasses() {
     class_of_tuple_[t] = it->second;
   }
   class_status_.assign(classes_.size(), ClassStatus::kInformative);
+  // Initially θ_P = ⊤, so K_c = ⊤ ∧ Part(c) = Part(c); every class starts on
+  // the worklist.
+  knowledge_.reserve(classes_.size());
+  informative_.reserve(classes_.size());
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    knowledge_.push_back(classes_[c].partition);
+    informative_.push_back(c);
+  }
 }
 
 size_t InferenceEngine::Propagate() {
+  const lat::Partition& theta = state_.theta_p();
+  size_t out = 0;
   size_t pruned = 0;
-  for (size_t c = 0; c < classes_.size(); ++c) {
-    if (class_status_[c] != ClassStatus::kInformative) continue;
-    // Uninformativeness is monotone (θ_P only shrinks, forbidden zones only
-    // grow), so classes already forced or labeled never need revisiting.
-    switch (state_.Classify(classes_[c].partition)) {
-      case TupleClassification::kForcedPositive:
-        class_status_[c] = ClassStatus::kForcedPositive;
-        ++pruned;
-        break;
-      case TupleClassification::kForcedNegative:
-        class_status_[c] = ClassStatus::kForcedNegative;
-        ++pruned;
-        break;
-      case TupleClassification::kInformative:
-        break;
+  for (size_t c : informative_) {
+    const lat::Partition& k = knowledge_[c];
+    if (k == theta) {
+      class_status_[c] = ClassStatus::kForcedPositive;
+      ++pruned;
+    } else if (state_.negatives().DominatedBy(k, scratch_)) {
+      class_status_[c] = ClassStatus::kForcedNegative;
+      ++pruned;
+    } else {
+      informative_[out++] = c;
     }
   }
+  informative_.resize(out);
   return pruned;
 }
 
-std::vector<size_t> InferenceEngine::InformativeClasses() const {
-  std::vector<size_t> ids;
-  for (size_t c = 0; c < classes_.size(); ++c) {
-    if (class_status_[c] == ClassStatus::kInformative) ids.push_back(c);
+size_t InferenceEngine::PropagateAfterPositive() {
+  const lat::Partition& theta = state_.theta_p();
+  size_t out = 0;
+  size_t pruned = 0;
+  for (size_t c : informative_) {
+    lat::Partition& k = knowledge_[c];
+    // The new θ_P refines the old, so meeting the *cached* knowledge with it
+    // is the full refresh: K ∧ θ' = (θ ∧ Part(c)) ∧ θ' = θ' ∧ Part(c).
+    k.MeetInto(theta, k, scratch_);
+    if (k == theta) {
+      class_status_[c] = ClassStatus::kForcedPositive;
+      ++pruned;
+    } else if (state_.negatives().DominatedBy(k, scratch_)) {
+      class_status_[c] = ClassStatus::kForcedNegative;
+      ++pruned;
+    } else {
+      informative_[out++] = c;
+    }
   }
-  return ids;
+  informative_.resize(out);
+  return pruned;
+}
+
+size_t InferenceEngine::PropagateAfterNegative(
+    const lat::Partition& forbidden) {
+  size_t out = 0;
+  size_t pruned = 0;
+  for (size_t c : informative_) {
+    // θ_P is unchanged, so the only new reason to leave the pool is the
+    // fresh forbidden zone: K_c was not dominated before, hence the class is
+    // pruned iff K_c ≤ forbidden.
+    if (knowledge_[c].RefinesWith(forbidden, scratch_)) {
+      class_status_[c] = ClassStatus::kForcedNegative;
+      ++pruned;
+    } else {
+      informative_[out++] = c;
+    }
+  }
+  informative_.resize(out);
+  return pruned;
+}
+
+void InferenceEngine::RemoveFromWorklist(size_t class_id) {
+  auto it = std::find(informative_.begin(), informative_.end(), class_id);
+  JIM_CHECK(it != informative_.end());
+  informative_.erase(it);
 }
 
 size_t InferenceEngine::NumInformativeTuples() const {
   size_t count = 0;
-  for (size_t c = 0; c < classes_.size(); ++c) {
-    if (class_status_[c] == ClassStatus::kInformative) {
-      count += classes_[c].size();
-    }
-  }
+  for (size_t c : informative_) count += classes_[c].size();
   return count;
 }
 
-bool InferenceEngine::IsDone() const {
-  for (ClassStatus status : class_status_) {
-    if (status == ClassStatus::kInformative) return false;
-  }
-  return true;
-}
+bool InferenceEngine::IsDone() const { return informative_.empty(); }
 
 JoinPredicate InferenceEngine::Result() const {
   return JoinPredicate(relation_->schema(), state_.theta_p());
@@ -168,7 +206,17 @@ util::Status InferenceEngine::LabelImpl(size_t class_id, size_t tuple_index,
     ++wasted_interactions_;
     return util::OkStatus();
   }
-  Propagate();
+  // The labeled class leaves the pool as kLabeled*; pull it off the worklist
+  // before propagation so reclassification cannot overwrite that status.
+  RemoveFromWorklist(class_id);
+  if (label == Label::kPositive) {
+    PropagateAfterPositive();
+  } else {
+    // θ_P is unchanged by a negative label, so the labeled class's cached
+    // knowledge is still exactly the antichain member ApplyLabel inserted
+    // (and nothing on this path mutates knowledge_).
+    PropagateAfterNegative(knowledge_[class_id]);
+  }
   return util::OkStatus();
 }
 
@@ -206,6 +254,8 @@ util::Status InferenceEngine::SubmitClassLabel(size_t class_id, Label label) {
 
 InferenceEngine::LabelImpact InferenceEngine::SimulateLabel(
     size_t class_id, Label label) const {
+  // The naive reference implementation (full state copy + rescan); the hot
+  // paths use SimulateLabelBoth, and the parity tests pin the two together.
   JIM_CHECK_LT(class_id, classes_.size());
   JIM_CHECK(class_status_[class_id] == ClassStatus::kInformative);
   InferenceState hypothetical = state_;
@@ -223,6 +273,46 @@ InferenceEngine::LabelImpact InferenceEngine::SimulateLabel(
         TupleClassification::kInformative) {
       ++impact.pruned_classes;
       impact.pruned_tuples += classes_[c].size();
+    }
+  }
+  return impact;
+}
+
+InferenceEngine::LabelImpactPair InferenceEngine::SimulateLabelBoth(
+    size_t class_id) const {
+  JIM_CHECK_LT(class_id, classes_.size());
+  JIM_CHECK(class_status_[class_id] == ClassStatus::kInformative);
+  const lat::Partition& k_labeled = knowledge_[class_id];
+
+  LabelImpactPair impact;
+  impact.positive.pruned_classes = impact.negative.pruned_classes = 1;
+  impact.positive.pruned_tuples = impact.negative.pruned_tuples =
+      classes_[class_id].size();
+  for (size_t c : informative_) {
+    if (c == class_id) continue;
+    const lat::Partition& k = knowledge_[c];
+    const size_t members = classes_[c].size();
+    // Negative answer: the forbidden zone grows by exactly k_labeled, so the
+    // class is pruned iff its knowledge falls inside it.
+    if (k.RefinesWith(k_labeled, scratch_)) {
+      ++impact.negative.pruned_classes;
+      impact.negative.pruned_tuples += members;
+    }
+    // Positive answer: the hypothetical θ_P is k_labeled, and the class's
+    // hypothetical knowledge is k_labeled ∧ k (meeting cached knowledge is
+    // enough — both already lie below the current θ_P).
+    if (k_labeled.RefinesWith(k, scratch_)) {
+      // k_labeled ∧ k == k_labeled: forced positive.
+      ++impact.positive.pruned_classes;
+      impact.positive.pruned_tuples += members;
+    } else {
+      k_labeled.MeetInto(k, meet_tmp_, scratch_);
+      // Testing against the *current* antichain is exact: restricting it to
+      // the new θ_P never changes domination of partitions below that θ_P.
+      if (state_.negatives().DominatedBy(meet_tmp_, scratch_)) {
+        ++impact.positive.pruned_classes;
+        impact.positive.pruned_tuples += members;
+      }
     }
   }
   return impact;

@@ -105,8 +105,22 @@ class InferenceEngine {
   /// UI renders: explicit labels as +/−, forced tuples grayed out.
   TupleStatus tuple_status(size_t tuple_index) const;
 
-  /// Ids of classes that are still worth asking about, ascending.
-  std::vector<size_t> InformativeClasses() const;
+  /// Ids of classes that are still worth asking about, ascending. Returns a
+  /// reference to the engine's live worklist: any Submit*Label call compacts
+  /// it, invalidating the reference (and any iterators) — copy first if you
+  /// need the list across a labeling.
+  const std::vector<size_t>& InformativeClasses() const {
+    return informative_;
+  }
+
+  /// Cached knowledge partition K_c = θ_P ∧ Part(c) of an *informative*
+  /// class (the cache goes stale — harmlessly — once a class leaves the
+  /// pool). Maintained incrementally: a positive label shrinks θ_P, and
+  /// since the new θ_P refines the old one, K_c' = K_c ∧ θ_P' over the
+  /// already-shrunk cache; negative labels leave θ_P (and the cache) alone.
+  const lat::Partition& ClassKnowledge(size_t class_id) const {
+    return knowledge_[class_id];
+  }
 
   /// Total member count over informative classes.
   size_t NumInformativeTuples() const;
@@ -146,6 +160,23 @@ class InferenceEngine {
   };
   LabelImpact SimulateLabel(size_t class_id, Label label) const;
 
+  /// Both answers' impacts in one pass over the cached knowledge partitions
+  /// — no InferenceState copy, no antichain restriction, no allocation:
+  ///   negative answer: the new forbidden zone is K_c, so a still-informative
+  ///     class d is pruned iff K_d ≤ K_c;
+  ///   positive answer: the new θ_P is K_c, so d is forced positive iff
+  ///     K_c ≤ K_d, and otherwise forced negative iff K_c ∧ K_d falls in an
+  ///     existing forbidden zone (restricting the antichain cannot change
+  ///     that test for partitions below the new θ_P).
+  /// Exactly equal to {SimulateLabel(c, +), SimulateLabel(c, −)}; this is
+  /// what turns lookahead scoring from O(candidates × classes × alloc-heavy
+  /// meets) into cache-reusing scans. Requires the class to be informative.
+  struct LabelImpactPair {
+    LabelImpact positive;
+    LabelImpact negative;
+  };
+  LabelImpactPair SimulateLabelBoth(size_t class_id) const;
+
   /// Progress counters for the demo UI and session traces.
   struct Stats {
     size_t num_tuples = 0;
@@ -168,15 +199,42 @@ class InferenceEngine {
   /// Shared implementation of the two Submit entry points; `tuple_index` is
   /// the tuple recorded in the history (the one actually shown to the user).
   util::Status LabelImpl(size_t class_id, size_t tuple_index, Label label);
-  /// Reclassifies informative classes after a state change; returns the
-  /// number of classes that left the pool.
+
+  /// Reclassification after a state change, over the dense worklist of
+  /// still-informative classes only (uninformativeness is monotone, so
+  /// settled classes are never revisited). Each variant compacts the
+  /// worklist in place and returns the number of classes that left the pool.
+  ///
+  /// Full variant (construction): classifies each worklist class from its
+  /// cached knowledge.
   size_t Propagate();
+  /// After a positive label: θ_P shrank to the labeled class's knowledge, so
+  /// each cache entry is refreshed in place (K_c ← K_c ∧ θ_P) and the class
+  /// re-tested — forced positive iff K_c == θ_P (one fingerprint compare in
+  /// the common case), else forced negative iff K_c is in a forbidden zone.
+  size_t PropagateAfterPositive();
+  /// After a negative label: θ_P and the cache are untouched; the only new
+  /// way out of the pool is the fresh forbidden zone, so each worklist class
+  /// takes a single refinement test K_c ≤ `forbidden`.
+  size_t PropagateAfterNegative(const lat::Partition& forbidden);
+  /// Drops `class_id` from the worklist (on explicit labeling).
+  void RemoveFromWorklist(size_t class_id);
 
   std::shared_ptr<const rel::Relation> relation_;
   InferenceState state_;
   std::vector<TupleClass> classes_;
   std::vector<ClassStatus> class_status_;
   std::vector<size_t> class_of_tuple_;
+  /// Ids of informative classes, ascending — the dense worklist Propagate
+  /// variants scan and compact.
+  std::vector<size_t> informative_;
+  /// K_c per class; fresh for informative classes (see ClassKnowledge).
+  std::vector<lat::Partition> knowledge_;
+  /// Scratch state for the allocation-free kernels; mutable because pure
+  /// queries (SimulateLabelBoth) reuse it. Copying an engine copies only
+  /// warmed capacity, never live data.
+  mutable lat::PartitionScratch scratch_;
+  mutable lat::Partition meet_tmp_;
   LabeledExamples history_;
   /// 0 = not explicitly labeled; 1 = labeled positive; 2 = labeled negative.
   std::vector<uint8_t> explicit_label_;

@@ -1,6 +1,9 @@
 #include "core/inference_state.h"
 
+#include <algorithm>
+
 #include "lattice/enumeration.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace jim::core {
@@ -86,8 +89,46 @@ uint64_t InferenceState::CountConsistent(uint64_t limit) const {
   return count;
 }
 
+TupleClassification InferenceState::ClassifyWith(
+    const lat::Partition& tuple_partition, lat::Partition& meet_tmp,
+    lat::PartitionScratch& scratch) const {
+  // θ_P ∧ Part(t) == θ_P tested without materializing the meet.
+  if (theta_p_.MeetEqualsLeft(tuple_partition, scratch)) {
+    return TupleClassification::kForcedPositive;
+  }
+  theta_p_.MeetInto(tuple_partition, meet_tmp, scratch);
+  if (negatives_.DominatedBy(meet_tmp, scratch)) {
+    return TupleClassification::kForcedNegative;
+  }
+  return TupleClassification::kInformative;
+}
+
 std::string InferenceState::CanonicalKey() const {
   return theta_p_.ToString() + "#" + negatives_.ToString();
+}
+
+InferenceState::StateKey InferenceState::MakeStateKey() const {
+  StateKey key;
+  const std::vector<lat::Partition>& members = negatives_.members();
+  // Antichain members are ordered by rank; the key needs the same canonical
+  // order as CanonicalKey (RGS-lexicographic), so sort indirection here.
+  std::vector<const lat::Partition*> sorted;
+  sorted.reserve(members.size());
+  for (const lat::Partition& m : members) sorted.push_back(&m);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const lat::Partition* a, const lat::Partition* b) {
+              return *a < *b;
+            });
+  key.encoded.reserve((num_attributes_ + 1) * (members.size() + 1));
+  key.encoded.insert(key.encoded.end(), theta_p_.labels().begin(),
+                     theta_p_.labels().end());
+  for (const lat::Partition* m : sorted) {
+    key.encoded.push_back(-1);  // separator: never a valid RGS label
+    key.encoded.insert(key.encoded.end(), m->labels().begin(),
+                       m->labels().end());
+  }
+  key.hash = util::Fnv1a64(key.encoded.begin(), key.encoded.end());
+  return key;
 }
 
 }  // namespace jim::core

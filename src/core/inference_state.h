@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/example.h"
 #include "lattice/antichain.h"
@@ -56,6 +57,14 @@ class InferenceState {
   /// Classifies a tuple by its value partition Part(t).
   TupleClassification Classify(const lat::Partition& tuple_partition) const;
 
+  /// Allocation-free classification: the forced-positive test uses
+  /// MeetEqualsLeft (no meet materialized at all), and only if that fails is
+  /// the knowledge meet computed — into `meet_tmp` via scratch kernels.
+  /// Identical result to Classify.
+  TupleClassification ClassifyWith(const lat::Partition& tuple_partition,
+                                   lat::Partition& meet_tmp,
+                                   lat::PartitionScratch& scratch) const;
+
   /// The knowledge gained from labeling the tuple: K = θ_P ∧ Part(t).
   lat::Partition Knowledge(const lat::Partition& tuple_partition) const;
 
@@ -73,6 +82,26 @@ class InferenceState {
 
   /// Canonical memoization key: θ_P plus the sorted antichain.
   std::string CanonicalKey() const;
+
+  /// Compact memoization key: the canonical label vectors (θ_P, then the
+  /// antichain members in RGS order, -1 separated) with a precomputed 64-bit
+  /// hash. Equality is exact (the hash is only a fast path), so two states
+  /// share a StateKey iff they share a CanonicalKey — without building a
+  /// single string. This is what MinimaxSolver memoizes on.
+  struct StateKey {
+    std::vector<int> encoded;
+    uint64_t hash = 0;
+
+    friend bool operator==(const StateKey& a, const StateKey& b) {
+      return a.hash == b.hash && a.encoded == b.encoded;
+    }
+  };
+  struct StateKeyHash {
+    size_t operator()(const StateKey& key) const {
+      return static_cast<size_t>(key.hash);
+    }
+  };
+  StateKey MakeStateKey() const;
 
  private:
   size_t num_attributes_;

@@ -11,7 +11,7 @@
 namespace jim::core {
 
 size_t Strategy::PickClass(const InferenceEngine& engine) {
-  const std::vector<size_t> candidates = engine.InformativeClasses();
+  const std::vector<size_t>& candidates = engine.InformativeClasses();
   JIM_CHECK(!candidates.empty()) << "PickClass on a finished engine";
   const std::vector<double> scores = Score(engine, candidates);
   JIM_CHECK_EQ(scores.size(), candidates.size());
@@ -23,7 +23,7 @@ size_t Strategy::PickClass(const InferenceEngine& engine) {
 }
 
 std::vector<size_t> Strategy::TopK(const InferenceEngine& engine, size_t k) {
-  const std::vector<size_t> candidates = engine.InformativeClasses();
+  const std::vector<size_t>& candidates = engine.InformativeClasses();
   const std::vector<double> scores = Score(engine, candidates);
   JIM_CHECK_EQ(scores.size(), candidates.size());
   std::vector<size_t> order(candidates.size());
@@ -63,7 +63,7 @@ std::vector<double> RandomStrategy::Score(
 size_t RandomStrategy::PickClass(const InferenceEngine& engine) {
   // Exact tuple-uniform choice: pick a random informative tuple and return
   // its class.
-  const std::vector<size_t> candidates = engine.InformativeClasses();
+  const std::vector<size_t>& candidates = engine.InformativeClasses();
   JIM_CHECK(!candidates.empty());
   size_t total = 0;
   for (size_t c : candidates) total += engine.tuple_class(c).size();
@@ -88,9 +88,10 @@ std::vector<double> LocalStrategy::Score(
     const InferenceEngine& engine, const std::vector<size_t>& candidates) {
   std::vector<double> scores(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
-    const lat::Partition knowledge =
-        engine.state().Knowledge(engine.tuple_class(candidates[i]).partition);
-    const double rank = static_cast<double>(knowledge.Rank());
+    // Candidates are informative, so the engine's knowledge cache is fresh —
+    // no meet needed to read the rank of K = θ_P ∧ Part(t).
+    const double rank =
+        static_cast<double>(engine.ClassKnowledge(candidates[i]).Rank());
     scores[i] = direction_ == Direction::kBottomUp ? -rank : rank;
   }
   return scores;
@@ -156,11 +157,9 @@ std::vector<double> LookaheadStrategy::Score(
       max_candidates_ == 0 ? n : std::min(n, max_candidates_);
   for (size_t j = 0; j < cap; ++j) {
     const size_t i = j * n / cap;
-    const auto plus =
-        engine.SimulateLabel(candidates[i], Label::kPositive);
-    const auto minus =
-        engine.SimulateLabel(candidates[i], Label::kNegative);
-    scores[i] = Aggregate(plus.pruned_tuples, minus.pruned_tuples);
+    const auto both = engine.SimulateLabelBoth(candidates[i]);
+    scores[i] =
+        Aggregate(both.positive.pruned_tuples, both.negative.pruned_tuples);
   }
   return scores;
 }
@@ -174,7 +173,8 @@ size_t LookaheadStrategy::PickClass(const InferenceEngine& engine) {
 namespace {
 
 /// Memoized minimax over inference states. The classes of the instance are
-/// fixed; a state is summarized by its canonical key.
+/// fixed; a state is summarized by its compact StateKey (canonical label
+/// vectors + precomputed hash — no string rendering on the memo path).
 class MinimaxSolver {
  public:
   MinimaxSolver(const InferenceEngine& engine, size_t node_budget)
@@ -183,7 +183,7 @@ class MinimaxSolver {
   /// Worst-case questions needed from `state`, considering as candidates
   /// the classes listed in `live` (informative under `state`).
   size_t Solve(const InferenceState& state) {
-    const std::string key = state.CanonicalKey();
+    InferenceState::StateKey key = state.MakeStateKey();
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
     JIM_CHECK_LT(nodes_++, node_budget_)
@@ -194,8 +194,8 @@ class MinimaxSolver {
       // Classes labeled/forced in the *real* engine are settled in every
       // descendant state as well (knowledge only grows).
       if (engine_.class_status(c) != ClassStatus::kInformative) continue;
-      if (state.Classify(engine_.tuple_class(c).partition) ==
-          TupleClassification::kInformative) {
+      if (state.ClassifyWith(engine_.tuple_class(c).partition, meet_tmp_,
+                             scratch_) == TupleClassification::kInformative) {
         live.push_back(c);
       }
     }
@@ -205,7 +205,7 @@ class MinimaxSolver {
       best = std::min(best, cost);
       if (best == 1) break;  // cannot do better than one question
     }
-    memo_.emplace(key, best);
+    memo_.emplace(std::move(key), best);
     return best;
   }
 
@@ -225,7 +225,11 @@ class MinimaxSolver {
   const InferenceEngine& engine_;
   size_t node_budget_;
   size_t nodes_ = 0;
-  std::unordered_map<std::string, size_t> memo_;
+  std::unordered_map<InferenceState::StateKey, size_t,
+                     InferenceState::StateKeyHash>
+      memo_;
+  lat::PartitionScratch scratch_;
+  lat::Partition meet_tmp_;
 };
 
 }  // namespace

@@ -4,23 +4,47 @@
 
 namespace jim::lat {
 
+void Antichain::InsertOrdered(const Partition& p) {
+  const size_t rank = p.Rank();
+  auto pos = std::upper_bound(
+      members_.begin(), members_.end(), rank,
+      [](size_t r, const Partition& m) { return r > m.Rank(); });
+  members_.insert(pos, p);
+}
+
 bool Antichain::Insert(const Partition& p) {
+  const size_t rank = p.Rank();
   for (const Partition& m : members_) {
+    // Only members at least as coarse can dominate p; the list is rank-
+    // descending, so the first member below p's rank ends the scan.
+    if (m.Rank() < rank) break;
     if (p.Refines(m)) return false;  // dominated (or already present)
   }
-  // Remove members now dominated by p.
+  // Remove members now dominated by p (necessarily of rank ≤ p's).
   members_.erase(std::remove_if(members_.begin(), members_.end(),
-                                [&p](const Partition& m) {
-                                  return m.Refines(p);
+                                [&p, rank](const Partition& m) {
+                                  return m.Rank() <= rank && m.Refines(p);
                                 }),
                  members_.end());
-  members_.push_back(p);
+  InsertOrdered(p);
   return true;
 }
 
 bool Antichain::DominatedBy(const Partition& q) const {
+  const size_t rank = q.Rank();
   for (const Partition& m : members_) {
+    if (m.Rank() < rank) break;  // rank-descending order: no dominator left
     if (q.Refines(m)) return true;
+  }
+  return false;
+}
+
+bool Antichain::DominatedBy(const Partition& q,
+                            PartitionScratch& scratch) const {
+  const size_t rank = q.Rank();
+  for (const Partition& m : members_) {
+    if (m.Rank() < rank) break;
+    if (q.RefinesWith(m, scratch)) return true;
   }
   return false;
 }
@@ -35,8 +59,24 @@ bool Antichain::Contains(const Partition& q) const {
 void Antichain::RestrictTo(const Partition& bound) {
   std::vector<Partition> old = std::move(members_);
   members_.clear();
+  // First pass: members already ≤ bound are their own meet. They were
+  // maximal among the old members and remain maximal among all the meets
+  // (m ≤ m' ∧ bound ≤ m' would contradict antichain incomparability), so
+  // they go back in directly — no meet, no dominance scan. Order-preserving
+  // push_back keeps the rank-descending invariant.
+  std::vector<const Partition*> to_meet;
+  to_meet.reserve(old.size());
   for (const Partition& m : old) {
-    Insert(m.Meet(bound));
+    if (m.Refines(bound)) {
+      members_.push_back(m);
+    } else {
+      to_meet.push_back(&m);
+    }
+  }
+  // Second pass: genuinely clipped members get the full treatment — their
+  // meets can be dominated by kept members or by each other.
+  for (const Partition* m : to_meet) {
+    Insert(m->Meet(bound));
   }
 }
 

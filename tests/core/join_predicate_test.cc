@@ -122,7 +122,9 @@ TEST(TuplePartitionTest, SelectionCharacterization) {
   for (int trial = 0; trial < 50; ++trial) {
     rel::Tuple tuple;
     for (int a = 0; a < 5; ++a) {
-      tuple.push_back(rel::Value(rng.UniformInt(0, 2)));
+      // In-place construction: moving a temporary Value trips GCC 12's
+      // variant/string -Wmaybe-uninitialized false positive under -Werror.
+      tuple.emplace_back(rng.UniformInt(0, 2));
     }
     const lat::Partition part = TuplePartition(tuple);
     lat::VisitAllPartitions(5, [&](const lat::Partition& theta) {

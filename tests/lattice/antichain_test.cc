@@ -74,6 +74,57 @@ TEST(AntichainTest, RestrictToMeetsMembers) {
   EXPECT_TRUE(chain.Contains(Partition::FromLabels({0, 0, 1, 2})));
 }
 
+TEST(AntichainTest, RestrictToKeepsMembersAlreadyBelowBound) {
+  // The fast path: a member m with m ≤ bound is its own meet and must be
+  // kept verbatim (no re-insertion dominance scan can drop it).
+  Antichain chain;
+  const Partition below = Partition::FromLabels({0, 0, 1, 2});   // {01|2|3}
+  const Partition clipped = Partition::FromLabels({0, 1, 2, 2});  // {0|1|23}
+  chain.Insert(below);
+  chain.Insert(clipped);
+  ASSERT_EQ(chain.size(), 2u);
+  const Partition bound = Partition::FromLabels({0, 0, 1, 2});  // {01|2|3}
+  chain.RestrictTo(bound);
+  // `below` ≤ bound stays untouched; `clipped` ∧ bound = ⊥ is dominated by
+  // `below` and must be absorbed.
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_TRUE(chain.Contains(below));
+}
+
+TEST(AntichainTest, RestrictToMixedKeptAndClippedMembers) {
+  Antichain chain;
+  const Partition kept = Partition::FromLabels({0, 0, 1, 2, 3});  // {01}
+  const Partition other = Partition::FromLabels({0, 1, 2, 2, 2});  // {234}
+  chain.Insert(kept);
+  chain.Insert(other);
+  const Partition bound = Partition::FromLabels({0, 0, 1, 1, 2});  // {01|23}
+  chain.RestrictTo(bound);
+  // kept ≤ bound survives as-is; other ∧ bound = {23} stays maximal.
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_TRUE(chain.Contains(kept));
+  EXPECT_TRUE(chain.Contains(Partition::FromLabels({0, 1, 2, 2, 3})));
+}
+
+TEST(AntichainPropertyTest, RestrictToMatchesNaiveReference) {
+  // Property check across random chains and bounds: RestrictTo (with its
+  // skip-the-scan fast path for members already below the bound) must agree
+  // with the naive "meet everything, re-insert everything" reference.
+  util::Rng rng(4242);
+  const auto all = AllPartitions(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    Antichain chain;
+    for (int i = 0; i < 6; ++i) chain.Insert(rng.PickOne(all));
+    const Partition& bound = rng.PickOne(all);
+
+    Antichain reference;
+    for (const Partition& m : chain.members()) {
+      reference.Insert(m.Meet(bound));
+    }
+    chain.RestrictTo(bound);
+    EXPECT_EQ(chain.ToString(), reference.ToString()) << bound.ToString();
+  }
+}
+
 TEST(AntichainTest, ToStringIsCanonical) {
   Antichain a;
   Antichain b;

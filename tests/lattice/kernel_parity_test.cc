@@ -1,0 +1,143 @@
+// Randomized parity tests: the allocation-free scratch kernels must compute
+// exactly what the naive allocating reference implementations compute, over
+// seeded random partitions of varying sizes (including the degenerate ones:
+// singletons, top, n = 1).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lattice/antichain.h"
+#include "lattice/partition.h"
+#include "util/rng.h"
+
+namespace jim::lat {
+namespace {
+
+Partition RandomPartition(size_t n, util::Rng& rng) {
+  // Labels drawn from a domain about half the size of n create a healthy mix
+  // of merged and singleton blocks; small domains force coarse partitions.
+  const int64_t domain = std::max<int64_t>(1, static_cast<int64_t>(n) / 2);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(rng.UniformInt(0, domain));
+  }
+  return Partition::FromLabels(labels);
+}
+
+TEST(KernelParityTest, MeetIntoMatchesMeet) {
+  util::Rng rng(2024);
+  PartitionScratch scratch;
+  Partition out;  // deliberately reused across all trials
+  for (size_t n : {1, 2, 3, 5, 8, 13, 21, 40}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const Partition a = RandomPartition(n, rng);
+      const Partition b = RandomPartition(n, rng);
+      const Partition reference = a.Meet(b);
+      a.MeetInto(b, out, scratch);
+      EXPECT_EQ(out, reference) << a.ToString() << " ∧ " << b.ToString();
+      EXPECT_EQ(out.num_blocks(), reference.num_blocks());
+      EXPECT_EQ(out.Fingerprint(), reference.Fingerprint());
+    }
+  }
+}
+
+TEST(KernelParityTest, MeetIntoSupportsAliasing) {
+  util::Rng rng(77);
+  PartitionScratch scratch;
+  for (size_t n : {1, 4, 9, 17}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const Partition a = RandomPartition(n, rng);
+      const Partition b = RandomPartition(n, rng);
+      const Partition reference = a.Meet(b);
+      // out aliases the left operand (the K_c ← K_c ∧ θ_P cache refresh).
+      Partition left = a;
+      left.MeetInto(b, left, scratch);
+      EXPECT_EQ(left, reference);
+      // out aliases the right operand.
+      Partition right = b;
+      a.MeetInto(right, right, scratch);
+      EXPECT_EQ(right, reference);
+    }
+  }
+}
+
+TEST(KernelParityTest, RefinesWithMatchesRefines) {
+  util::Rng rng(31337);
+  PartitionScratch scratch;
+  for (size_t n : {1, 2, 4, 7, 12, 25}) {
+    for (int trial = 0; trial < 300; ++trial) {
+      const Partition a = RandomPartition(n, rng);
+      // Mix genuinely comparable pairs in: a.Join(x) is coarser than a, and
+      // a.Meet(x) finer, so all three relations (≤, ≥, incomparable) occur.
+      const Partition x = RandomPartition(n, rng);
+      for (const Partition& b : {x, a.Join(x), a.Meet(x), a}) {
+        EXPECT_EQ(a.RefinesWith(b, scratch), a.Refines(b))
+            << a.ToString() << " vs " << b.ToString();
+        EXPECT_EQ(b.RefinesWith(a, scratch), b.Refines(a));
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, MeetEqualsLeftMatchesMaterializedMeet) {
+  util::Rng rng(99);
+  PartitionScratch scratch;
+  for (size_t n : {1, 3, 6, 11, 20}) {
+    for (int trial = 0; trial < 300; ++trial) {
+      const Partition a = RandomPartition(n, rng);
+      const Partition x = RandomPartition(n, rng);
+      for (const Partition& b : {x, a.Join(x), a}) {
+        EXPECT_EQ(a.MeetEqualsLeft(b, scratch), a.Meet(b) == a)
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, FingerprintIsContentDetermined) {
+  util::Rng rng(5);
+  for (size_t n : {1, 4, 10, 30}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const Partition a = RandomPartition(n, rng);
+      // Rebuilding from the same labels (differently encoded) must land on
+      // the identical fingerprint: it is a function of the canonical RGS.
+      std::vector<int> shifted(a.labels());
+      for (int& v : shifted) v += 1000;
+      const Partition b = Partition::FromLabels(shifted);
+      ASSERT_EQ(a, b);
+      EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+      EXPECT_EQ(a.Hash(), static_cast<size_t>(a.Fingerprint()));
+      // A copy carries the fingerprint along.
+      const Partition c = a;
+      EXPECT_EQ(c.Fingerprint(), a.Fingerprint());
+    }
+  }
+}
+
+TEST(KernelParityTest, AntichainDominatedByScratchOverloadMatches) {
+  util::Rng rng(1234);
+  PartitionScratch scratch;
+  const size_t n = 6;
+  for (int trial = 0; trial < 100; ++trial) {
+    Antichain chain;
+    std::vector<Partition> inserted;
+    for (int i = 0; i < 10; ++i) {
+      const Partition p = RandomPartition(n, rng);
+      chain.Insert(p);
+      inserted.push_back(p);
+    }
+    for (int probe = 0; probe < 50; ++probe) {
+      const Partition q = RandomPartition(n, rng);
+      bool brute = false;
+      for (const Partition& m : inserted) {
+        if (q.Refines(m)) brute = true;
+      }
+      EXPECT_EQ(chain.DominatedBy(q), brute) << q.ToString();
+      EXPECT_EQ(chain.DominatedBy(q, scratch), brute) << q.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jim::lat
