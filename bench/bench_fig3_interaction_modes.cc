@@ -3,11 +3,17 @@
 // effort (interactions, mean ± std over simulated-user seeds) and how much
 // of it was wasted on uninformative tuples (only mode 1 can waste effort —
 // nothing is grayed out there).
+//
+// The (scenario × mode × repetition) grid runs concurrently on engine
+// clones via exec::BatchSessionRunner (--threads N / JIM_THREADS); all
+// seeds are fixed per job, so the table is byte-identical at any thread
+// count.
 
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "core/jim.h"
+#include "exec/batch_runner.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
 #include "workload/setgame.h"
@@ -26,7 +32,8 @@ struct Scenario {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const size_t threads = bench::ParseThreadsFlag(argc, argv);
   std::vector<Scenario> scenarios;
 
   {
@@ -59,26 +66,43 @@ int main() {
   std::cout << "== F3: labeling effort per interaction type (mean ± std over "
             << kRepetitions << " simulated users) ==\n\n";
 
+  // One prototype engine per scenario; every (mode, rep) session clones it.
+  exec::ThreadPool pool(threads);
+  const exec::BatchSessionRunner runner(threads > 1 ? &pool : nullptr);
+  std::vector<exec::SessionSpec> specs;
+  specs.reserve(scenarios.size() * 4 * kRepetitions);
+  for (const Scenario& scenario : scenarios) {
+    auto prototype =
+        std::make_shared<const core::InferenceEngine>(scenario.instance);
+    for (int mode = 1; mode <= 4; ++mode) {
+      for (size_t rep = 0; rep < kRepetitions; ++rep) {
+        exec::SessionSpec spec(prototype, scenario.goal);
+        const uint64_t strategy_seed = 101 + rep;
+        spec.make_strategy = [strategy_seed] {
+          return core::MakeStrategy("lookahead-entropy", strategy_seed)
+              .value();
+        };
+        spec.options.mode = static_cast<core::InteractionMode>(mode);
+        spec.options.user_seed = 555 + 7 * rep;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const std::vector<core::SessionResult> results = runner.Run(specs);
+
   util::TablePrinter table({"scenario", "mode", "interactions", "wasted",
                             "identified"});
   table.SetAlignments({util::Align::kLeft, util::Align::kLeft,
                        util::Align::kRight, util::Align::kRight,
                        util::Align::kLeft});
+  size_t job = 0;
   for (const Scenario& scenario : scenarios) {
     for (int mode = 1; mode <= 4; ++mode) {
       bench::Series interactions;
       bench::Series wasted;
       bool identified = true;
-      for (size_t rep = 0; rep < kRepetitions; ++rep) {
-        auto strategy =
-            core::MakeStrategy("lookahead-entropy", /*seed=*/101 + rep)
-                .value();
-        core::ExactOracle oracle(scenario.goal);
-        core::SessionOptions options;
-        options.mode = static_cast<core::InteractionMode>(mode);
-        options.user_seed = 555 + 7 * rep;
-        const auto result = core::RunSession(scenario.instance, scenario.goal,
-                                             *strategy, oracle, options);
+      for (size_t rep = 0; rep < kRepetitions; ++rep, ++job) {
+        const core::SessionResult& result = results[job];
         interactions.Add(static_cast<double>(result.interactions));
         wasted.Add(static_cast<double>(result.wasted_interactions));
         identified = identified && result.identified_goal;

@@ -3,18 +3,24 @@
 // shows how many interactions she *would* have spent had JIM proposed
 // informative tuples — rendered here exactly as the ASCII analogue of the
 // paper's bar chart.
+//
+// The (scenario × mode × repetition) grid runs concurrently on engine
+// clones via exec::BatchSessionRunner (--threads N / JIM_THREADS); seeds
+// are fixed per job, so the charts are byte-identical at any thread count.
 
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "core/jim.h"
+#include "exec/batch_runner.h"
 #include "ui/console_ui.h"
 #include "util/rng.h"
 #include "workload/setgame.h"
 #include "workload/travel.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jim;
+  const size_t threads = bench::ParseThreadsFlag(argc, argv);
 
   struct Scenario {
     std::string name;
@@ -38,23 +44,38 @@ int main() {
   }
 
   constexpr size_t kRepetitions = 25;
+  exec::ThreadPool pool(threads);
+  const exec::BatchSessionRunner runner(threads > 1 ? &pool : nullptr);
+  std::vector<exec::SessionSpec> specs;
+  specs.reserve(scenarios.size() * 4 * kRepetitions);
+  for (const Scenario& scenario : scenarios) {
+    auto prototype =
+        std::make_shared<const core::InferenceEngine>(scenario.instance);
+    for (int mode = 1; mode <= 4; ++mode) {
+      for (size_t r = 0; r < kRepetitions; ++r) {
+        // The same seed schedule bench::Repeat(base = 900 + mode) derives.
+        const uint64_t seed = 900 + static_cast<uint64_t>(mode) + 1000003 * r;
+        exec::SessionSpec spec(prototype, scenario.goal);
+        spec.make_strategy = [seed] {
+          return core::MakeStrategy("lookahead-entropy", seed).value();
+        };
+        spec.options.mode = static_cast<core::InteractionMode>(mode);
+        spec.options.user_seed = seed * 3 + 1;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const std::vector<core::SessionResult> results = runner.Run(specs);
+
+  size_t job = 0;
   for (const Scenario& scenario : scenarios) {
     std::cout << "== F4: " << scenario.name << " ==\n";
     std::vector<std::pair<std::string, size_t>> chart;
     for (int mode = 1; mode <= 4; ++mode) {
-      const bench::Series series =
-          bench::Repeat(kRepetitions, 900 + mode, [&](uint64_t seed) {
-            auto strategy =
-                core::MakeStrategy("lookahead-entropy", seed).value();
-            core::ExactOracle oracle(scenario.goal);
-            core::SessionOptions options;
-            options.mode = static_cast<core::InteractionMode>(mode);
-            options.user_seed = seed * 3 + 1;
-            return static_cast<double>(
-                core::RunSession(scenario.instance, scenario.goal, *strategy,
-                                 oracle, options)
-                    .interactions);
-          });
+      bench::Series series;
+      for (size_t r = 0; r < kRepetitions; ++r, ++job) {
+        series.Add(static_cast<double>(results[job].interactions));
+      }
       chart.emplace_back(
           std::string(core::InteractionModeToString(
               static_cast<core::InteractionMode>(mode))),

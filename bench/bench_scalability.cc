@@ -5,11 +5,24 @@
 //       per-step time stays interactive;
 //   (b) schema width: both grow with #attributes (the hypothesis lattice
 //       deepens), the real driver of hardness.
+//
+// Usage: bench_scalability [--quick] [--threads N] [--out PATH]
+//   --quick    CI-sized grids (the `bench` aggregate target runs this);
+//   --threads  batch parallelism (default JIM_THREADS, then hardware);
+//   --out      JSON destination (default BENCH_scalability.json).
+//
+// The repetitions × strategies grid of each cell runs concurrently on
+// engine clones via exec::BatchSessionRunner. Seeds are fixed per
+// (cell, repetition), so interaction counts are identical at any thread
+// count; only the timing columns move.
 
+#include <fstream>
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "core/jim.h"
+#include "exec/batch_runner.h"
+#include "util/json_writer.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 #include "workload/synthetic.h"
@@ -18,20 +31,34 @@ namespace {
 
 using namespace jim;
 
-struct Measurement {
+struct StrategyMeasurement {
+  std::string strategy;
   double interactions = 0;
   double micros_per_step = 0;
-  double build_millis = 0;
-  double classes = 0;
 };
 
-Measurement Measure(const std::string& strategy_name, size_t num_tuples,
-                    size_t num_attributes, size_t repetitions) {
-  Measurement out;
-  bench::Series interactions;
-  bench::Series step_micros;
+struct CellMeasurement {
+  size_t tuples = 0;
+  size_t attributes = 0;
+  double classes = 0;
+  double build_millis = 0;
+  std::vector<StrategyMeasurement> by_strategy;
+};
+
+CellMeasurement MeasureCell(const exec::BatchSessionRunner& runner,
+                            const std::vector<std::string>& strategies,
+                            size_t num_tuples, size_t num_attributes,
+                            size_t repetitions) {
+  CellMeasurement cell;
+  cell.tuples = num_tuples;
+  cell.attributes = num_attributes;
+
+  // One instance and one *timed* prototype build per repetition; every
+  // strategy's session clones the prototype instead of rebuilding classes.
   bench::Series build_millis;
   bench::Series classes;
+  std::vector<std::shared_ptr<const core::InferenceEngine>> prototypes;
+  std::vector<core::JoinPredicate> goals;
   for (size_t rep = 0; rep < repetitions; ++rep) {
     util::Rng rng(4000 + rep * 17 + num_tuples);
     workload::SyntheticSpec spec;
@@ -42,78 +69,179 @@ Measurement Measure(const std::string& strategy_name, size_t num_tuples,
     const auto workload = workload::MakeSyntheticWorkload(spec, rng);
 
     util::Stopwatch build_clock;
-    core::InferenceEngine probe(workload.instance);
+    auto prototype =
+        std::make_shared<const core::InferenceEngine>(workload.instance);
     build_millis.Add(build_clock.ElapsedSeconds() * 1e3);
-    classes.Add(static_cast<double>(probe.num_classes()));
-
-    auto strategy = core::MakeStrategy(strategy_name, 31 + rep).value();
-    const auto result =
-        core::RunSession(workload.instance, workload.goal, *strategy);
-    interactions.Add(static_cast<double>(result.interactions));
-    double total_micros = 0;
-    for (const auto& step : result.steps) {
-      total_micros += static_cast<double>(step.micros);
-    }
-    step_micros.Add(result.steps.empty()
-                        ? 0
-                        : total_micros /
-                              static_cast<double>(result.steps.size()));
+    classes.Add(static_cast<double>(prototype->num_classes()));
+    prototypes.push_back(std::move(prototype));
+    goals.push_back(workload.goal);
   }
-  out.interactions = interactions.Mean();
-  out.micros_per_step = step_micros.Mean();
-  out.build_millis = build_millis.Mean();
-  out.classes = classes.Mean();
-  return out;
+  cell.classes = classes.Mean();
+  cell.build_millis = build_millis.Mean();
+
+  std::vector<exec::SessionSpec> specs;
+  specs.reserve(strategies.size() * repetitions);
+  for (const std::string& name : strategies) {
+    for (size_t rep = 0; rep < repetitions; ++rep) {
+      exec::SessionSpec spec(prototypes[rep], goals[rep]);
+      const uint64_t strategy_seed = 31 + rep;
+      spec.make_strategy = [name, strategy_seed] {
+        return core::MakeStrategy(name, strategy_seed).value();
+      };
+      specs.push_back(std::move(spec));
+    }
+  }
+  const std::vector<core::SessionResult> results = runner.Run(specs);
+
+  for (size_t s = 0; s < strategies.size(); ++s) {
+    bench::Series interactions;
+    bench::Series step_micros;
+    for (size_t rep = 0; rep < repetitions; ++rep) {
+      const core::SessionResult& result = results[s * repetitions + rep];
+      interactions.Add(static_cast<double>(result.interactions));
+      double total_micros = 0;
+      for (const auto& step : result.steps) {
+        total_micros += static_cast<double>(step.micros);
+      }
+      step_micros.Add(result.steps.empty()
+                          ? 0
+                          : total_micros /
+                                static_cast<double>(result.steps.size()));
+    }
+    StrategyMeasurement m;
+    m.strategy = strategies[s];
+    m.interactions = interactions.Mean();
+    m.micros_per_step = step_micros.Mean();
+    cell.by_strategy.push_back(std::move(m));
+  }
+  return cell;
+}
+
+void AppendJsonCells(util::JsonWriter& json, const char* sweep,
+                     const std::vector<CellMeasurement>& cells) {
+  for (const CellMeasurement& cell : cells) {
+    for (const StrategyMeasurement& m : cell.by_strategy) {
+      json.BeginObject()
+          .KeyValue("sweep", sweep)
+          .KeyValue("tuples", cell.tuples)
+          .KeyValue("attributes", cell.attributes)
+          .KeyValue("classes", cell.classes)
+          .KeyValue("build_ms", cell.build_millis)
+          .KeyValue("strategy", m.strategy)
+          .KeyValue("interactions", m.interactions)
+          .KeyValue("us_per_step", m.micros_per_step)
+          .EndObject();
+    }
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const size_t threads = bench::ParseThreadsFlag(argc, argv);
+  bool quick = false;
+  std::string json_path = "BENCH_scalability.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_scalability: --out requires a path\n";
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      std::cerr << "bench_scalability: unknown argument '" << arg
+                << "' (usage: bench_scalability [--quick] [--threads N] "
+                   "[--out PATH])\n";
+      return 2;
+    }
+  }
+
   const std::vector<std::string> strategies = {"random", "local-bottom-up",
                                                "lookahead-entropy"};
+  const std::vector<size_t> tuple_sweep =
+      quick ? std::vector<size_t>{100, 300, 1000}
+            : std::vector<size_t>{100, 300, 1000, 3000, 10000, 30000};
+  const std::vector<size_t> attr_sweep = quick
+                                             ? std::vector<size_t>{4, 6, 8}
+                                             : std::vector<size_t>{4, 6, 8,
+                                                                   10, 12};
+  const size_t repetitions = quick ? 2 : 5;
+
+  exec::ThreadPool pool(threads);
+  const exec::BatchSessionRunner runner(threads > 1 ? &pool : nullptr);
 
   std::cout << "== S2a: scaling the instance (attrs=6, domain=6, goal=2 eqs; "
-               "mean over 5 runs) ==\n\n";
+               "mean over " << repetitions << " runs) ==\n\n";
   util::TablePrinter size_table({"tuples", "classes", "strategy",
                                  "interactions", "us/step", "build ms"});
   size_table.SetAlignments({util::Align::kRight, util::Align::kRight,
                             util::Align::kLeft, util::Align::kRight,
                             util::Align::kRight, util::Align::kRight});
-  for (size_t tuples : {100u, 300u, 1000u, 3000u, 10000u, 30000u}) {
-    for (const std::string& name : strategies) {
-      const Measurement m = Measure(name, tuples, /*num_attributes=*/6,
-                                    /*repetitions=*/5);
+  std::vector<CellMeasurement> size_cells;
+  for (size_t tuples : tuple_sweep) {
+    const CellMeasurement cell = MeasureCell(runner, strategies, tuples,
+                                             /*num_attributes=*/6,
+                                             repetitions);
+    for (const StrategyMeasurement& m : cell.by_strategy) {
       size_table.AddRow({std::to_string(tuples),
-                         util::StrFormat("%.0f", m.classes), name,
+                         util::StrFormat("%.0f", cell.classes), m.strategy,
                          util::StrFormat("%.1f", m.interactions),
                          util::StrFormat("%.0f", m.micros_per_step),
-                         util::StrFormat("%.1f", m.build_millis)});
+                         util::StrFormat("%.1f", cell.build_millis)});
     }
     size_table.AddSeparator();
+    size_cells.push_back(cell);
   }
   std::cout << size_table.ToString();
 
   std::cout << "\n== S2b: scaling the schema (tuples=1000, domain=6, goal=2 "
-               "eqs; mean over 5 runs) ==\n\n";
+               "eqs; mean over " << repetitions << " runs) ==\n\n";
   util::TablePrinter width_table({"attrs", "classes", "strategy",
                                   "interactions", "us/step"});
   width_table.SetAlignments({util::Align::kRight, util::Align::kRight,
                              util::Align::kLeft, util::Align::kRight,
                              util::Align::kRight});
-  for (size_t attrs : {4u, 6u, 8u, 10u, 12u}) {
-    for (const std::string& name : strategies) {
-      const Measurement m =
-          Measure(name, /*num_tuples=*/1000, attrs, /*repetitions=*/5);
+  std::vector<CellMeasurement> width_cells;
+  for (size_t attrs : attr_sweep) {
+    const CellMeasurement cell = MeasureCell(runner, strategies,
+                                             /*num_tuples=*/1000, attrs,
+                                             repetitions);
+    for (const StrategyMeasurement& m : cell.by_strategy) {
       width_table.AddRow({std::to_string(attrs),
-                          util::StrFormat("%.0f", m.classes), name,
+                          util::StrFormat("%.0f", cell.classes), m.strategy,
                           util::StrFormat("%.1f", m.interactions),
                           util::StrFormat("%.0f", m.micros_per_step)});
     }
     width_table.AddSeparator();
+    width_cells.push_back(cell);
   }
   std::cout << width_table.ToString()
             << "\nExpected shape: interactions grow sublinearly in #tuples "
                "(class structure saturates) but steeply in #attributes; "
                "per-step latency stays well inside interactive bounds.\n";
+
+  util::JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("benchmark", "scalability");
+  json.KeyValue("quick", quick);
+  json.KeyValue("threads", threads);
+  json.KeyValue("repetitions", repetitions);
+  json.Key("results");
+  json.BeginArray();
+  AppendJsonCells(json, "instance_size", size_cells);
+  AppendJsonCells(json, "schema_width", width_cells);
+  json.EndArray();
+  json.EndObject();
+  std::ofstream out(json_path);
+  out << json.str() << "\n";
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "bench_scalability: failed to write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << json_path << "\n";
   return 0;
 }

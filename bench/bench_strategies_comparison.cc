@@ -8,21 +8,31 @@
 //   - goal complexity: number of equality constraints in the planted query;
 //   - instance complexity: smaller value domains create more accidental
 //     inter-attribute equalities (more distinct tuple classes to separate).
+//
+// The strategies × repetitions grid of each point runs concurrently on
+// engine clones via exec::BatchSessionRunner (--threads N / JIM_THREADS);
+// every job's seeds are fixed per (strategy, repetition), so the table is
+// byte-identical at any thread count.
 
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "core/jim.h"
+#include "exec/batch_runner.h"
 #include "util/table_printer.h"
 #include "workload/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jim;
+  const size_t threads = bench::ParseThreadsFlag(argc, argv);
 
   const std::vector<std::string> strategies = {
       "random", "local-bottom-up", "local-top-down", "lookahead-minmax",
       "lookahead-entropy"};
   constexpr size_t kRepetitions = 11;
+
+  exec::ThreadPool pool(threads);
+  const exec::BatchSessionRunner runner(threads > 1 ? &pool : nullptr);
 
   std::cout << "== S1: interactions by strategy across workload complexity "
                "(mean over " << kRepetitions << " instances) ==\n\n";
@@ -55,29 +65,53 @@ int main() {
   };
 
   for (const GridPoint& point : grid) {
-    std::vector<double> means;
+    // One instance (and one built prototype engine) per repetition seed,
+    // shared by all five strategies' clones.
+    const uint64_t base_seed = 1200 + point.attrs * 31 + point.domain;
+    std::vector<uint64_t> seeds;
+    std::vector<std::shared_ptr<const core::InferenceEngine>> prototypes;
+    std::vector<core::JoinPredicate> goals;
     bench::Series classes;
+    for (size_t r = 0; r < kRepetitions; ++r) {
+      const uint64_t seed = base_seed + 1000003 * r;
+      util::Rng rng(seed);
+      workload::SyntheticSpec spec;
+      spec.num_attributes = point.attrs;
+      spec.num_tuples = 500;
+      spec.domain_size = point.domain;
+      spec.goal_constraints = point.goal_eqs;
+      const auto workload = workload::MakeSyntheticWorkload(spec, rng);
+      auto prototype =
+          std::make_shared<core::InferenceEngine>(workload.instance);
+      classes.Add(static_cast<double>(prototype->num_classes()));
+      seeds.push_back(seed);
+      prototypes.push_back(std::move(prototype));
+      goals.push_back(workload.goal);
+    }
+
+    // Job order is (strategy, repetition) — results are read back by index.
+    std::vector<exec::SessionSpec> specs;
+    specs.reserve(strategies.size() * kRepetitions);
     for (const std::string& name : strategies) {
-      const bench::Series series = bench::Repeat(
-          kRepetitions, 1200 + point.attrs * 31 + point.domain,
-          [&](uint64_t seed) {
-            util::Rng rng(seed);
-            workload::SyntheticSpec spec;
-            spec.num_attributes = point.attrs;
-            spec.num_tuples = 500;
-            spec.domain_size = point.domain;
-            spec.goal_constraints = point.goal_eqs;
-            const auto workload = workload::MakeSyntheticWorkload(spec, rng);
-            if (name == strategies[0]) {
-              core::InferenceEngine probe(workload.instance);
-              classes.Add(static_cast<double>(probe.num_classes()));
-            }
-            auto strategy = core::MakeStrategy(name, seed * 7 + 3).value();
-            const auto result =
-                core::RunSession(workload.instance, workload.goal, *strategy);
-            return static_cast<double>(result.interactions);
-          });
-      means.push_back(series.Mean());
+      for (size_t r = 0; r < kRepetitions; ++r) {
+        exec::SessionSpec spec(prototypes[r], goals[r]);
+        const uint64_t strategy_seed = seeds[r] * 7 + 3;
+        spec.make_strategy = [name, strategy_seed] {
+          return core::MakeStrategy(name, strategy_seed).value();
+        };
+        specs.push_back(std::move(spec));
+      }
+    }
+    const std::vector<core::SessionResult> results = runner.Run(specs);
+
+    std::vector<double> means;
+    for (size_t s = 0; s < strategies.size(); ++s) {
+      bench::Series interactions;
+      for (size_t r = 0; r < kRepetitions; ++r) {
+        interactions.Add(
+            static_cast<double>(results[s * kRepetitions + r].interactions));
+      }
+      means.push_back(interactions.Mean());
     }
     size_t winner = 0;
     for (size_t i = 1; i < means.size(); ++i) {

@@ -4,14 +4,49 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "exec/parallel.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace jim::bench {
+
+/// Shared `--threads N` parsing for the parallel benches. Consumes the flag
+/// (and its value) out of argc/argv so each bench can parse its remaining
+/// flags afterwards, installs the count as the process-wide default
+/// (exec::SetDefaultThreads — the shared lookahead pool is sized from it),
+/// and returns the resolved parallelism. Without the flag this falls back
+/// to JIM_THREADS, then to the hardware thread count (see
+/// exec::DefaultThreads). Exits with a usage error on a malformed value.
+///
+/// Thread count is a latency knob only: every parallel path in JIM is
+/// deterministic, so bench decision outputs are identical at any value.
+inline size_t ParseThreadsFlag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) != "--threads") continue;
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": --threads requires a count\n";
+      std::exit(2);
+    }
+    const auto parsed = util::ParseInt64(argv[i + 1]);
+    if (!parsed.ok() || *parsed <= 0) {
+      std::cerr << argv[0] << ": --threads wants a positive integer (got '"
+                << argv[i + 1] << "')\n";
+      std::exit(2);
+    }
+    exec::SetDefaultThreads(static_cast<size_t>(*parsed));
+    for (int j = i + 2; j < argc; ++j) argv[j - 2] = argv[j];
+    argc -= 2;
+    break;
+  }
+  return exec::DefaultThreads();
+}
 
 /// Keeps `value` observable so the compiler cannot elide a benchmarked call.
 /// clang rejects non-trivially-copyable operands under the "g" constraint,

@@ -1,9 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 verify (must match ROADMAP.md): configure, build, run the full
 # GoogleTest suite. Exits non-zero on the first failure.
+#
+# A second stage rebuilds the parallel execution subsystem under
+# ThreadSanitizer (-DJIM_SANITIZE=thread) and runs the exec unit tests plus
+# the determinism/COW parity suites under it — the suites that actually
+# exercise cross-thread interleavings. Set JIM_SKIP_TSAN=1 to skip the
+# stage (e.g. on a toolchain without libtsan).
 set -euxo pipefail
 cd "$(dirname "$0")"
 
 cmake -B build -S .
 cmake --build build -j
-cd build && ctest --output-on-failure -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "${JIM_SKIP_TSAN:-0}" != "1" ]]; then
+  cmake -B build-tsan -S . \
+    -DJIM_SANITIZE=thread -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j --target \
+    exec_thread_pool_test exec_scratch_pool_test exec_batch_runner_test \
+    core_parallel_parity_test core_engine_cow_test
+  (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
+    -R 'ThreadPool|ScratchPool|BatchSessionRunner|ParallelParity|EngineCow')
+fi

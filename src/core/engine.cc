@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "util/logging.h"
@@ -52,25 +53,44 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const rel::Relation> relation)
 
 void InferenceEngine::BuildClasses() {
   std::unordered_map<lat::Partition, size_t, lat::PartitionHash> class_ids;
-  class_of_tuple_.resize(relation_->num_rows());
+  auto classes = std::make_shared<std::vector<TupleClass>>();
+  auto class_of_tuple = std::make_shared<std::vector<size_t>>();
+  class_of_tuple->resize(relation_->num_rows());
   for (size_t t = 0; t < relation_->num_rows(); ++t) {
     lat::Partition part = TuplePartition(relation_->row(t));
-    auto [it, inserted] = class_ids.emplace(part, classes_.size());
+    auto [it, inserted] = class_ids.emplace(part, classes->size());
     if (inserted) {
-      classes_.push_back(TupleClass{std::move(part), {}});
+      classes->push_back(TupleClass{std::move(part), {}});
     }
-    classes_[it->second].tuple_indices.push_back(t);
-    class_of_tuple_[t] = it->second;
+    (*classes)[it->second].tuple_indices.push_back(t);
+    (*class_of_tuple)[t] = it->second;
   }
-  class_status_.assign(classes_.size(), ClassStatus::kInformative);
+  class_status_.assign(classes->size(), ClassStatus::kInformative);
   // Initially θ_P = ⊤, so K_c = ⊤ ∧ Part(c) = Part(c); every class starts on
   // the worklist.
-  knowledge_.reserve(classes_.size());
-  informative_.reserve(classes_.size());
-  for (size_t c = 0; c < classes_.size(); ++c) {
-    knowledge_.push_back(classes_[c].partition);
+  knowledge_ = std::make_shared<std::vector<lat::Partition>>();
+  knowledge_->reserve(classes->size());
+  informative_.reserve(classes->size());
+  for (size_t c = 0; c < classes->size(); ++c) {
+    knowledge_->push_back((*classes)[c].partition);
     informative_.push_back(c);
   }
+  classes_ = std::move(classes);
+  class_of_tuple_ = std::move(class_of_tuple);
+}
+
+std::vector<lat::Partition>& InferenceEngine::MutableKnowledge() {
+  // use_count is exact here: a count of 1 can only race with *this* engine
+  // being cloned concurrently, which is already outside the copy contract.
+  if (knowledge_.use_count() != 1) {
+    knowledge_ = std::make_shared<std::vector<lat::Partition>>(*knowledge_);
+  } else {
+    // Pair with the release-decrement of a sibling clone that just detached
+    // (copied the vector and dropped the count to 1): without this fence the
+    // in-place mutation below would be unordered against that copy's reads.
+    std::atomic_thread_fence(std::memory_order_acquire);
+  }
+  return *knowledge_;
 }
 
 size_t InferenceEngine::Propagate() {
@@ -78,7 +98,7 @@ size_t InferenceEngine::Propagate() {
   size_t out = 0;
   size_t pruned = 0;
   for (size_t c : informative_) {
-    const lat::Partition& k = knowledge_[c];
+    const lat::Partition& k = (*knowledge_)[c];
     if (k == theta) {
       class_status_[c] = ClassStatus::kForcedPositive;
       ++pruned;
@@ -95,10 +115,13 @@ size_t InferenceEngine::Propagate() {
 
 size_t InferenceEngine::PropagateAfterPositive() {
   const lat::Partition& theta = state_.theta_p();
+  // The in-place cache refresh below is the one mutation of K_c anywhere in
+  // the engine — detach from clone sharers first.
+  std::vector<lat::Partition>& knowledge = MutableKnowledge();
   size_t out = 0;
   size_t pruned = 0;
   for (size_t c : informative_) {
-    lat::Partition& k = knowledge_[c];
+    lat::Partition& k = knowledge[c];
     // The new θ_P refines the old, so meeting the *cached* knowledge with it
     // is the full refresh: K ∧ θ' = (θ ∧ Part(c)) ∧ θ' = θ' ∧ Part(c).
     k.MeetInto(theta, k, scratch_);
@@ -124,7 +147,7 @@ size_t InferenceEngine::PropagateAfterNegative(
     // θ_P is unchanged, so the only new reason to leave the pool is the
     // fresh forbidden zone: K_c was not dominated before, hence the class is
     // pruned iff K_c ≤ forbidden.
-    if (knowledge_[c].RefinesWith(forbidden, scratch_)) {
+    if ((*knowledge_)[c].RefinesWith(forbidden, scratch_)) {
       class_status_[c] = ClassStatus::kForcedNegative;
       ++pruned;
     } else {
@@ -143,7 +166,7 @@ void InferenceEngine::RemoveFromWorklist(size_t class_id) {
 
 size_t InferenceEngine::NumInformativeTuples() const {
   size_t count = 0;
-  for (size_t c : informative_) count += classes_[c].size();
+  for (size_t c : informative_) count += (*classes_)[c].size();
   return count;
 }
 
@@ -155,9 +178,9 @@ JoinPredicate InferenceEngine::Result() const {
 
 util::DynamicBitset InferenceEngine::CertainResultTuples() const {
   util::DynamicBitset certain(relation_->num_rows());
-  for (size_t c = 0; c < classes_.size(); ++c) {
+  for (size_t c = 0; c < classes_->size(); ++c) {
     if (IsPositive(class_status_[c])) {
-      for (size_t t : classes_[c].tuple_indices) certain.Set(t);
+      for (size_t t : (*classes_)[c].tuple_indices) certain.Set(t);
     }
   }
   return certain;
@@ -165,10 +188,10 @@ util::DynamicBitset InferenceEngine::CertainResultTuples() const {
 
 util::DynamicBitset InferenceEngine::CertainNonResultTuples() const {
   util::DynamicBitset certain(relation_->num_rows());
-  for (size_t c = 0; c < classes_.size(); ++c) {
+  for (size_t c = 0; c < classes_->size(); ++c) {
     if (class_status_[c] == ClassStatus::kForcedNegative ||
         class_status_[c] == ClassStatus::kLabeledNegative) {
-      for (size_t t : classes_[c].tuple_indices) certain.Set(t);
+      for (size_t t : (*classes_)[c].tuple_indices) certain.Set(t);
     }
   }
   return certain;
@@ -194,7 +217,7 @@ util::Status InferenceEngine::LabelImpl(size_t class_id, size_t tuple_index,
   }
 
   const bool was_informative = before == ClassStatus::kInformative;
-  RETURN_IF_ERROR(state_.ApplyLabel(classes_[class_id].partition, label));
+  RETURN_IF_ERROR(state_.ApplyLabel((*classes_)[class_id].partition, label));
 
   class_status_[class_id] = label == Label::kPositive
                                 ? ClassStatus::kLabeledPositive
@@ -215,7 +238,7 @@ util::Status InferenceEngine::LabelImpl(size_t class_id, size_t tuple_index,
     // θ_P is unchanged by a negative label, so the labeled class's cached
     // knowledge is still exactly the antichain member ApplyLabel inserted
     // (and nothing on this path mutates knowledge_).
-    PropagateAfterNegative(knowledge_[class_id]);
+    PropagateAfterNegative((*knowledge_)[class_id]);
   }
   return util::OkStatus();
 }
@@ -224,7 +247,7 @@ TupleStatus InferenceEngine::tuple_status(size_t tuple_index) const {
   JIM_CHECK_LT(tuple_index, relation_->num_rows());
   if (explicit_label_[tuple_index] == 1) return TupleStatus::kLabeledPositive;
   if (explicit_label_[tuple_index] == 2) return TupleStatus::kLabeledNegative;
-  switch (class_status_[class_of_tuple_[tuple_index]]) {
+  switch (class_status_[(*class_of_tuple_)[tuple_index]]) {
     case ClassStatus::kInformative:
       return TupleStatus::kInformative;
     case ClassStatus::kForcedPositive:
@@ -242,37 +265,37 @@ util::Status InferenceEngine::SubmitTupleLabel(size_t tuple_index,
   if (tuple_index >= relation_->num_rows()) {
     return util::OutOfRangeError("tuple index out of range");
   }
-  return LabelImpl(class_of_tuple_[tuple_index], tuple_index, label);
+  return LabelImpl((*class_of_tuple_)[tuple_index], tuple_index, label);
 }
 
 util::Status InferenceEngine::SubmitClassLabel(size_t class_id, Label label) {
-  if (class_id >= classes_.size()) {
+  if (class_id >= classes_->size()) {
     return util::OutOfRangeError("class id out of range");
   }
-  return LabelImpl(class_id, classes_[class_id].tuple_indices.front(), label);
+  return LabelImpl(class_id, (*classes_)[class_id].tuple_indices.front(), label);
 }
 
 InferenceEngine::LabelImpact InferenceEngine::SimulateLabel(
     size_t class_id, Label label) const {
   // The naive reference implementation (full state copy + rescan); the hot
   // paths use SimulateLabelBoth, and the parity tests pin the two together.
-  JIM_CHECK_LT(class_id, classes_.size());
+  JIM_CHECK_LT(class_id, classes_->size());
   JIM_CHECK(class_status_[class_id] == ClassStatus::kInformative);
   InferenceState hypothetical = state_;
   // An informative class accepts either label by definition.
-  JIM_CHECK_OK(hypothetical.ApplyLabel(classes_[class_id].partition, label));
+  JIM_CHECK_OK(hypothetical.ApplyLabel((*classes_)[class_id].partition, label));
 
   LabelImpact impact;
   impact.pruned_classes = 1;
-  impact.pruned_tuples = classes_[class_id].size();
-  for (size_t c = 0; c < classes_.size(); ++c) {
+  impact.pruned_tuples = (*classes_)[class_id].size();
+  for (size_t c = 0; c < classes_->size(); ++c) {
     if (c == class_id || class_status_[c] != ClassStatus::kInformative) {
       continue;
     }
-    if (hypothetical.Classify(classes_[c].partition) !=
+    if (hypothetical.Classify((*classes_)[c].partition) !=
         TupleClassification::kInformative) {
       ++impact.pruned_classes;
-      impact.pruned_tuples += classes_[c].size();
+      impact.pruned_tuples += (*classes_)[c].size();
     }
   }
   return impact;
@@ -280,36 +303,42 @@ InferenceEngine::LabelImpact InferenceEngine::SimulateLabel(
 
 InferenceEngine::LabelImpactPair InferenceEngine::SimulateLabelBoth(
     size_t class_id) const {
-  JIM_CHECK_LT(class_id, classes_.size());
+  return SimulateLabelBothWith(class_id, meet_tmp_, scratch_);
+}
+
+InferenceEngine::LabelImpactPair InferenceEngine::SimulateLabelBothWith(
+    size_t class_id, lat::Partition& meet_tmp,
+    lat::PartitionScratch& scratch) const {
+  JIM_CHECK_LT(class_id, classes_->size());
   JIM_CHECK(class_status_[class_id] == ClassStatus::kInformative);
-  const lat::Partition& k_labeled = knowledge_[class_id];
+  const lat::Partition& k_labeled = (*knowledge_)[class_id];
 
   LabelImpactPair impact;
   impact.positive.pruned_classes = impact.negative.pruned_classes = 1;
   impact.positive.pruned_tuples = impact.negative.pruned_tuples =
-      classes_[class_id].size();
+      (*classes_)[class_id].size();
   for (size_t c : informative_) {
     if (c == class_id) continue;
-    const lat::Partition& k = knowledge_[c];
-    const size_t members = classes_[c].size();
+    const lat::Partition& k = (*knowledge_)[c];
+    const size_t members = (*classes_)[c].size();
     // Negative answer: the forbidden zone grows by exactly k_labeled, so the
     // class is pruned iff its knowledge falls inside it.
-    if (k.RefinesWith(k_labeled, scratch_)) {
+    if (k.RefinesWith(k_labeled, scratch)) {
       ++impact.negative.pruned_classes;
       impact.negative.pruned_tuples += members;
     }
     // Positive answer: the hypothetical θ_P is k_labeled, and the class's
     // hypothetical knowledge is k_labeled ∧ k (meeting cached knowledge is
     // enough — both already lie below the current θ_P).
-    if (k_labeled.RefinesWith(k, scratch_)) {
+    if (k_labeled.RefinesWith(k, scratch)) {
       // k_labeled ∧ k == k_labeled: forced positive.
       ++impact.positive.pruned_classes;
       impact.positive.pruned_tuples += members;
     } else {
-      k_labeled.MeetInto(k, meet_tmp_, scratch_);
+      k_labeled.MeetInto(k, meet_tmp, scratch);
       // Testing against the *current* antichain is exact: restricting it to
       // the new θ_P never changes domination of partitions below that θ_P.
-      if (state_.negatives().DominatedBy(meet_tmp_, scratch_)) {
+      if (state_.negatives().DominatedBy(meet_tmp, scratch)) {
         ++impact.positive.pruned_classes;
         impact.positive.pruned_tuples += members;
       }
@@ -321,11 +350,11 @@ InferenceEngine::LabelImpactPair InferenceEngine::SimulateLabelBoth(
 InferenceEngine::Stats InferenceEngine::GetStats() const {
   Stats stats;
   stats.num_tuples = relation_->num_rows();
-  stats.num_classes = classes_.size();
+  stats.num_classes = classes_->size();
   stats.interactions = history_.size();
   stats.wasted_interactions = wasted_interactions_;
-  for (size_t c = 0; c < classes_.size(); ++c) {
-    const size_t members = classes_[c].size();
+  for (size_t c = 0; c < classes_->size(); ++c) {
+    const size_t members = (*classes_)[c].size();
     switch (class_status_[c]) {
       case ClassStatus::kInformative:
         ++stats.informative_classes;

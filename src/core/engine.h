@@ -80,6 +80,14 @@ class InferenceEngine {
   /// tuples and n attributes.
   explicit InferenceEngine(std::shared_ptr<const rel::Relation> relation);
 
+  /// Copies are cheap clones: the class table and tuple → class map are
+  /// shared outright (immutable), and the per-class knowledge cache is
+  /// copy-on-write — a clone defers that cost until its first positive
+  /// label. This is what lets BatchSessionRunner fan independent sessions
+  /// out over clones of one built engine. Clones may be labeled from
+  /// different threads concurrently (a mutating clone detaches before it
+  /// writes); only cloning an engine *while another thread mutates that same
+  /// engine* is a race, so clone before fanning out.
   InferenceEngine(const InferenceEngine&) = default;
   InferenceEngine& operator=(const InferenceEngine&) = default;
 
@@ -90,15 +98,15 @@ class InferenceEngine {
   const InferenceState& state() const { return state_; }
 
   size_t num_tuples() const { return relation_->num_rows(); }
-  size_t num_classes() const { return classes_.size(); }
+  size_t num_classes() const { return classes_->size(); }
   const TupleClass& tuple_class(size_t class_id) const {
-    return classes_[class_id];
+    return (*classes_)[class_id];
   }
   ClassStatus class_status(size_t class_id) const {
     return class_status_[class_id];
   }
   size_t class_of_tuple(size_t tuple_index) const {
-    return class_of_tuple_[tuple_index];
+    return (*class_of_tuple_)[tuple_index];
   }
 
   /// Status of an individual tuple (see TupleStatus). This is what the demo
@@ -119,7 +127,7 @@ class InferenceEngine {
   /// since the new θ_P refines the old one, K_c' = K_c ∧ θ_P' over the
   /// already-shrunk cache; negative labels leave θ_P (and the cache) alone.
   const lat::Partition& ClassKnowledge(size_t class_id) const {
-    return knowledge_[class_id];
+    return (*knowledge_)[class_id];
   }
 
   /// Total member count over informative classes.
@@ -177,6 +185,16 @@ class InferenceEngine {
   };
   LabelImpactPair SimulateLabelBoth(size_t class_id) const;
 
+  /// SimulateLabelBoth with a caller-provided kernel working set instead of
+  /// the engine's internal one. Identical result — but since the engine is
+  /// not touched at all (not even its mutable scratch), any number of
+  /// threads may score candidates of one engine concurrently, each thread
+  /// owning its own (meet_tmp, scratch) pair. This is the entry point of the
+  /// parallel lookahead (exec::ScratchPool hands out the pairs).
+  LabelImpactPair SimulateLabelBothWith(size_t class_id,
+                                        lat::Partition& meet_tmp,
+                                        lat::PartitionScratch& scratch) const;
+
   /// Progress counters for the demo UI and session traces.
   struct Stats {
     size_t num_tuples = 0;
@@ -220,16 +238,26 @@ class InferenceEngine {
   /// Drops `class_id` from the worklist (on explicit labeling).
   void RemoveFromWorklist(size_t class_id);
 
+  /// Detaches knowledge_ from any sharers (copy-on-first-mutate) and returns
+  /// the sole-owner vector. Everything that writes K_c goes through here.
+  std::vector<lat::Partition>& MutableKnowledge();
+
   std::shared_ptr<const rel::Relation> relation_;
   InferenceState state_;
-  std::vector<TupleClass> classes_;
+  /// The class table and the tuple → class map are immutable once
+  /// BuildClasses returns, so every clone of an engine shares them outright.
+  std::shared_ptr<const std::vector<TupleClass>> classes_;
+  std::shared_ptr<const std::vector<size_t>> class_of_tuple_;
   std::vector<ClassStatus> class_status_;
-  std::vector<size_t> class_of_tuple_;
   /// Ids of informative classes, ascending — the dense worklist Propagate
   /// variants scan and compact.
   std::vector<size_t> informative_;
   /// K_c per class; fresh for informative classes (see ClassKnowledge).
-  std::vector<lat::Partition> knowledge_;
+  /// Copy-on-write: clones share the vector until their first knowledge
+  /// mutation (a positive label), which makes engine copies cheap enough to
+  /// fan batches of sessions out over clones (exec::BatchSessionRunner).
+  /// Negative-only histories never pay for a copy at all.
+  std::shared_ptr<std::vector<lat::Partition>> knowledge_;
   /// Scratch state for the allocation-free kernels; mutable because pure
   /// queries (SimulateLabelBoth) reuse it. Copying an engine copies only
   /// warmed capacity, never live data.

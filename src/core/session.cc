@@ -87,7 +87,15 @@ std::optional<size_t> ChooseClass(const InferenceEngine& engine,
 SessionResult RunSession(std::shared_ptr<const rel::Relation> relation,
                          const JoinPredicate& goal, Strategy& strategy,
                          Oracle& oracle, const SessionOptions& options) {
-  InferenceEngine engine(relation);
+  InferenceEngine engine(std::move(relation));
+  return RunSessionOnEngine(engine, goal, strategy, oracle, options);
+}
+
+SessionResult RunSessionOnEngine(InferenceEngine& engine,
+                                 const JoinPredicate& goal, Strategy& strategy,
+                                 Oracle& oracle,
+                                 const SessionOptions& options) {
+  const rel::Relation& relation = engine.relation();
   util::Rng user_rng(options.user_seed);
   std::vector<bool> tuple_labeled(engine.num_tuples(), false);
 
@@ -110,7 +118,7 @@ SessionResult RunSession(std::shared_ptr<const rel::Relation> relation,
     const size_t tuple_index = engine.tuple_class(class_id).tuple_indices[0];
 
     const auto stats_before = engine.GetStats();
-    const Label label = oracle.LabelFor(relation->row(tuple_index));
+    const Label label = oracle.LabelFor(relation.row(tuple_index));
 
     SessionStep step;
     step.class_id = class_id;
@@ -138,7 +146,7 @@ SessionResult RunSession(std::shared_ptr<const rel::Relation> relation,
   result.interactions = result.steps.size();
   result.total_seconds = session_clock.ElapsedSeconds();
   result.result = engine.Result();
-  result.identified_goal = InstanceEquivalent(*relation, *result.result, goal);
+  result.identified_goal = InstanceEquivalent(relation, *result.result, goal);
   result.final_stats = engine.GetStats();
   result.wasted_interactions += result.final_stats.wasted_interactions;
   return result;

@@ -89,6 +89,17 @@ SessionResult RunSession(std::shared_ptr<const rel::Relation> relation,
                          const JoinPredicate& goal, Strategy& strategy,
                          Oracle& oracle, const SessionOptions& options = {});
 
+/// Same, but drives an engine the caller already built — typically a cheap
+/// clone of a prototype (engine copies share the class table and the K_c
+/// cache copy-on-write), which skips the O(N·n²) class construction per
+/// session. This is the unit of work exec::BatchSessionRunner fans out. The
+/// engine must be fresh (no labels yet) for the session trace to mean what
+/// the benches assume.
+SessionResult RunSessionOnEngine(InferenceEngine& engine,
+                                 const JoinPredicate& goal, Strategy& strategy,
+                                 Oracle& oracle,
+                                 const SessionOptions& options = {});
+
 /// Convenience: exact oracle for `goal`, default options with mode 4.
 SessionResult RunSession(std::shared_ptr<const rel::Relation> relation,
                          const JoinPredicate& goal, Strategy& strategy);

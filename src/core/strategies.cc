@@ -6,6 +6,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "exec/parallel.h"
 #include "util/logging.h"
 
 namespace jim::core {
@@ -155,11 +156,30 @@ std::vector<double> LookaheadStrategy::Score(
   const size_t n = candidates.size();
   const size_t cap =
       max_candidates_ == 0 ? n : std::min(n, max_candidates_);
-  for (size_t j = 0; j < cap; ++j) {
-    const size_t i = j * n / cap;
-    const auto both = engine.SimulateLabelBoth(candidates[i]);
-    scores[i] =
-        Aggregate(both.positive.pruned_tuples, both.negative.pruned_tuples);
+  exec::ThreadPool* pool = use_shared_pool_ ? &exec::SharedPool() : pool_;
+  if (pool != nullptr && pool->threads() > 1 && cap > 1) {
+    // Sampled candidate j → slot j*n/cap, strictly increasing in j, so every
+    // chunk writes disjoint score slots and the result vector is identical
+    // to the serial path bit for bit. Each chunk owns one EvalScratch; both
+    // the per-candidate simulation and Aggregate are pure, so scheduling
+    // cannot leak into the scores.
+    scratch_pool_.EnsureSlots(std::min(pool->threads(), cap));
+    pool->ParallelFor(cap, [&](size_t j, size_t chunk) {
+      exec::EvalScratch& slot = scratch_pool_.Slot(chunk);
+      const size_t i = j * n / cap;
+      const auto both = engine.SimulateLabelBothWith(candidates[i],
+                                                     slot.meet_tmp,
+                                                     slot.scratch);
+      scores[i] =
+          Aggregate(both.positive.pruned_tuples, both.negative.pruned_tuples);
+    });
+  } else {
+    for (size_t j = 0; j < cap; ++j) {
+      const size_t i = j * n / cap;
+      const auto both = engine.SimulateLabelBoth(candidates[i]);
+      scores[i] =
+          Aggregate(both.positive.pruned_tuples, both.negative.pruned_tuples);
+    }
   }
   return scores;
 }

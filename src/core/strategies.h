@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "exec/scratch_pool.h"
+#include "exec/thread_pool.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -80,6 +82,13 @@ class LocalStrategy : public Strategy {
 /// O(#classes) simulations per candidate; `max_candidates` bounds the number
 /// of candidates scored per step (a deterministic sample keeps huge
 /// instances interactive), 0 = unlimited.
+///
+/// Scoring is embarrassingly parallel — every candidate's SimulateLabelBoth
+/// is independent once each thread owns an exec::EvalScratch — and it runs
+/// on a thread pool (exec::SharedPool() by default). The parallel path is
+/// bitwise-deterministic at any thread count: each candidate's score lands
+/// in its slot of a pre-sized vector, and PickClass's serial argmax (ties
+/// toward the smallest index) is unchanged.
 class LookaheadStrategy : public Strategy {
  public:
   enum class Objective { kMinMax, kExpected, kEntropy };
@@ -91,6 +100,14 @@ class LookaheadStrategy : public Strategy {
                             const std::vector<size_t>& candidates) override;
   size_t PickClass(const InferenceEngine& engine) override;
 
+  /// Scores candidates on `pool` instead of the process-wide default;
+  /// nullptr forces the serial reference path. The pool is not owned and
+  /// must outlive the strategy's last Score call.
+  void set_thread_pool(exec::ThreadPool* pool) {
+    pool_ = pool;
+    use_shared_pool_ = false;
+  }
+
  private:
   double Aggregate(size_t n_plus, size_t n_minus) const;
 
@@ -98,6 +115,10 @@ class LookaheadStrategy : public Strategy {
   double alpha_;
   size_t max_candidates_;
   std::string name_;
+  exec::ThreadPool* pool_ = nullptr;  ///< not owned (see set_thread_pool)
+  bool use_shared_pool_ = true;
+  /// One EvalScratch per ParallelFor chunk, reused across Score calls.
+  exec::ScratchPool scratch_pool_;
 };
 
 /// Exact minimax strategy: explores the full game tree of (question, answer)

@@ -1,0 +1,49 @@
+#include "exec/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace jim::exec {
+
+namespace {
+
+std::atomic<size_t> g_thread_override{0};
+
+size_t EnvThreads() {
+  const char* env = std::getenv("JIM_THREADS");
+  if (env == nullptr) return 0;
+  const auto parsed = util::ParseInt64(env);
+  if (!parsed.ok() || *parsed <= 0) return 0;
+  return static_cast<size_t>(*parsed);
+}
+
+}  // namespace
+
+size_t HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+size_t DefaultThreads() {
+  const size_t override = g_thread_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  const size_t env = EnvThreads();
+  if (env > 0) return env;
+  return HardwareThreads();
+}
+
+void SetDefaultThreads(size_t n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool& SharedPool() {
+  // Sized once; function-local static gives thread-safe initialization, and
+  // the destructor joins the workers at exit (keeps LeakSanitizer quiet).
+  static ThreadPool pool(DefaultThreads());
+  return pool;
+}
+
+}  // namespace jim::exec

@@ -1,0 +1,110 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace jim::exec {
+
+namespace {
+/// The pool whose ParallelFor chunk is running on this thread, if any. A
+/// body that re-enters ParallelFor on the same pool would park every worker
+/// behind the queued inner chunks — detect it instead of deadlocking.
+thread_local const ThreadPool* tl_active_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  JIM_CHECK(!workers_.empty()) << "Submit on a 1-thread pool";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    JIM_CHECK(!stopping_) << "Submit on a stopping pool";
+    tasks_.push(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // tasks are wrapped by ParallelFor and never throw out
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t index, size_t chunk)>& body) {
+  if (n == 0) return;
+  JIM_CHECK(tl_active_pool != this)
+      << "nested ParallelFor on the same pool would deadlock; use a second "
+         "pool for the inner level";
+  const size_t chunks = std::min(threads(), n);
+
+  // Per-call completion latch + first-failure slot (ordered by chunk id so
+  // the rethrown exception is deterministic, not a scheduling artifact).
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t remaining;
+    size_t failed_chunk;
+    std::exception_ptr failure;
+  } latch;
+  latch.remaining = chunks;
+  latch.failed_chunk = chunks;
+
+  // Chunk j owns the contiguous index range [j*n/chunks, (j+1)*n/chunks).
+  const auto run_chunk = [this, &latch, &body, n, chunks](size_t j) {
+    std::exception_ptr failure;
+    const ThreadPool* previous = tl_active_pool;
+    tl_active_pool = this;
+    try {
+      const size_t begin = j * n / chunks;
+      const size_t end = (j + 1) * n / chunks;
+      for (size_t i = begin; i < end; ++i) body(i, j);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    tl_active_pool = previous;
+    std::lock_guard<std::mutex> lock(latch.mutex);
+    if (failure && j < latch.failed_chunk) {
+      latch.failed_chunk = j;
+      latch.failure = failure;
+    }
+    if (--latch.remaining == 0) latch.done.notify_one();
+  };
+
+  for (size_t j = 1; j < chunks; ++j) {
+    Submit([&run_chunk, j] { run_chunk(j); });
+  }
+  run_chunk(0);
+
+  std::unique_lock<std::mutex> lock(latch.mutex);
+  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+  if (latch.failure) std::rethrow_exception(latch.failure);
+}
+
+}  // namespace jim::exec

@@ -1,0 +1,70 @@
+#ifndef JIM_EXEC_THREAD_POOL_H_
+#define JIM_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace jim::exec {
+
+/// A fixed-size pool of worker threads behind a condition-variable task
+/// queue. `threads` is the *total* parallelism of a ParallelFor: the pool
+/// spawns `threads - 1` workers and the calling thread always executes the
+/// first chunk itself, so `ThreadPool(1)` owns no threads at all and runs
+/// everything inline (the serial reference path the parity tests pin the
+/// parallel results against).
+///
+/// The pool itself is thread-safe: any number of threads may Submit or run
+/// ParallelFor concurrently (each ParallelFor tracks its own completion
+/// state, so concurrent loops interleave safely on the shared queue).
+/// Destruction drains nothing: it waits for queued tasks to finish, then
+/// joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread), always ≥ 1.
+  size_t threads() const { return workers_.size() + 1; }
+
+  /// Enqueues a task for some worker. Fire-and-forget: completion is the
+  /// caller's business (ParallelFor layers a completion latch on top).
+  /// Requires threads() > 1 — a 1-thread pool has nobody to run it.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(i)` for every i in [0, n), blocking until all calls have
+  /// returned. Work is split *statically* into min(threads(), n) contiguous
+  /// chunks; chunk j additionally learns its id via `body(i, j)`-style
+  /// overloads below, which lets callers pin per-chunk scratch state without
+  /// locks. Chunk 0 runs on the calling thread.
+  ///
+  /// Determinism: the index → chunk assignment depends only on (n,
+  /// threads()), never on scheduling, and callers that write results by
+  /// index get bitwise-identical output at any thread count.
+  ///
+  /// Exceptions thrown by `body` are captured; the first one (in chunk
+  /// order) is rethrown on the calling thread after every chunk has
+  /// finished.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t index, size_t chunk)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+}  // namespace jim::exec
+
+#endif  // JIM_EXEC_THREAD_POOL_H_

@@ -1,0 +1,135 @@
+// Copy-on-write semantics of InferenceEngine clones: the class table is
+// shared outright, the knowledge cache K_c is shared until the clone's
+// first positive label, and no mutation of a clone is ever visible through
+// its siblings or the prototype.
+
+#include <memory>
+
+#include "core/engine.h"
+#include "core/jim.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace jim::core {
+namespace {
+
+workload::SyntheticWorkload MakeWorkload(uint64_t seed) {
+  util::Rng rng(seed);
+  workload::SyntheticSpec spec;
+  spec.num_attributes = 6;
+  spec.num_tuples = 150;
+  spec.domain_size = 4;
+  spec.goal_constraints = 2;
+  return workload::MakeSyntheticWorkload(spec, rng);
+}
+
+/// First still-informative class of an engine.
+size_t AnyInformative(const InferenceEngine& engine) {
+  const auto& informative = engine.InformativeClasses();
+  EXPECT_FALSE(informative.empty());
+  return informative.front();
+}
+
+TEST(EngineCowTest, CloneSharesClassTableAndKnowledge) {
+  const auto workload = MakeWorkload(1);
+  const InferenceEngine prototype(workload.instance);
+  const InferenceEngine clone = prototype;
+
+  // Shared storage is observable through accessor addresses: same objects,
+  // not equal copies.
+  const size_t c = AnyInformative(prototype);
+  EXPECT_EQ(&clone.tuple_class(c), &prototype.tuple_class(c));
+  EXPECT_EQ(&clone.ClassKnowledge(c), &prototype.ClassKnowledge(c));
+}
+
+TEST(EngineCowTest, PositiveLabelDetachesKnowledge) {
+  const auto workload = MakeWorkload(2);
+  const InferenceEngine prototype(workload.instance);
+  InferenceEngine clone = prototype;
+
+  const size_t labeled = AnyInformative(clone);
+  // Remember a class that stays informative in the clone so its (refreshed)
+  // K_c can be compared across the engines afterwards.
+  ASSERT_TRUE(clone.SubmitClassLabel(labeled, Label::kPositive).ok());
+
+  // The class table is immutable and stays shared...
+  EXPECT_EQ(&clone.tuple_class(labeled), &prototype.tuple_class(labeled));
+  // ...but the knowledge cache detached: the clone refreshed its own copy.
+  EXPECT_NE(&clone.ClassKnowledge(labeled), &prototype.ClassKnowledge(labeled));
+
+  // The prototype saw nothing: same informative pool, no history, and its
+  // K_c is still the construction-time value Part(c) (θ_P = ⊤).
+  EXPECT_EQ(prototype.history().size(), 0u);
+  EXPECT_EQ(prototype.class_status(labeled), ClassStatus::kInformative);
+  EXPECT_EQ(prototype.ClassKnowledge(labeled),
+            prototype.tuple_class(labeled).partition);
+}
+
+TEST(EngineCowTest, NegativeLabelsNeverCopyTheKnowledge) {
+  const auto workload = MakeWorkload(3);
+  const InferenceEngine prototype(workload.instance);
+  InferenceEngine clone = prototype;
+
+  // Negative labels grow the forbidden antichain but never touch K_c, so
+  // the clone keeps sharing the cache through any number of them.
+  for (int i = 0; i < 3 && !clone.IsDone(); ++i) {
+    const size_t c = AnyInformative(clone);
+    ASSERT_TRUE(clone.SubmitClassLabel(c, Label::kNegative).ok());
+    EXPECT_EQ(&clone.ClassKnowledge(0), &prototype.ClassKnowledge(0))
+        << "after negative label " << i;
+  }
+}
+
+TEST(EngineCowTest, CloneBehavesExactlyLikeAFreshEngine) {
+  const auto workload = MakeWorkload(4);
+  const InferenceEngine prototype(workload.instance);
+
+  InferenceEngine clone = prototype;
+  InferenceEngine fresh(workload.instance);
+
+  // Drive both with the same labels; every observable must stay equal.
+  util::Rng rng(99);
+  while (!fresh.IsDone()) {
+    ASSERT_FALSE(clone.IsDone());
+    const auto& informative = fresh.InformativeClasses();
+    const size_t c = informative[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(informative.size()) - 1))];
+    const Label label = rng.Bernoulli(0.5) ? Label::kPositive
+                                           : Label::kNegative;
+    ASSERT_EQ(fresh.SubmitClassLabel(c, label).ok(),
+              clone.SubmitClassLabel(c, label).ok());
+    ASSERT_EQ(fresh.InformativeClasses(), clone.InformativeClasses());
+    ASSERT_EQ(fresh.GetStats().informative_tuples,
+              clone.GetStats().informative_tuples);
+  }
+  EXPECT_TRUE(clone.IsDone());
+  EXPECT_EQ(fresh.Result().ToString(), clone.Result().ToString());
+  EXPECT_EQ(prototype.history().size(), 0u);  // never touched
+}
+
+TEST(EngineCowTest, SiblingClonesAreIndependent) {
+  const auto workload = MakeWorkload(5);
+  const InferenceEngine prototype(workload.instance);
+  InferenceEngine a = prototype;
+  InferenceEngine b = prototype;
+
+  const size_t c = AnyInformative(prototype);
+  ASSERT_TRUE(a.SubmitClassLabel(c, Label::kPositive).ok());
+  ASSERT_TRUE(b.SubmitClassLabel(c, Label::kNegative).ok());
+
+  EXPECT_EQ(a.class_status(c), ClassStatus::kLabeledPositive);
+  EXPECT_EQ(b.class_status(c), ClassStatus::kLabeledNegative);
+  EXPECT_EQ(prototype.class_status(c), ClassStatus::kInformative);
+
+  // SimulateLabelBoth on the untouched prototype still agrees with the
+  // naive reference (the caches of a/b diverged, the prototype's did not).
+  const auto both = prototype.SimulateLabelBoth(c);
+  const auto pos = prototype.SimulateLabel(c, Label::kPositive);
+  const auto neg = prototype.SimulateLabel(c, Label::kNegative);
+  EXPECT_EQ(both.positive.pruned_tuples, pos.pruned_tuples);
+  EXPECT_EQ(both.negative.pruned_tuples, neg.pruned_tuples);
+}
+
+}  // namespace
+}  // namespace jim::core

@@ -1,0 +1,159 @@
+// Determinism guarantee of the parallel execution subsystem: lookahead
+// decisions and full session transcripts are identical at 1, 2, and 8
+// threads. This is the contract that lets --threads be a pure latency knob
+// everywhere (benches, demo, batch runs).
+
+#include <memory>
+#include <vector>
+
+#include "core/jim.h"
+#include "exec/thread_pool.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+#include "workload/travel.h"
+
+namespace jim::core {
+namespace {
+
+workload::SyntheticWorkload MakeWorkload(uint64_t seed, size_t tuples = 300,
+                                         size_t attrs = 6) {
+  util::Rng rng(seed);
+  workload::SyntheticSpec spec;
+  spec.num_attributes = attrs;
+  spec.num_tuples = tuples;
+  spec.domain_size = 4;
+  spec.goal_constraints = 2;
+  return workload::MakeSyntheticWorkload(spec, rng);
+}
+
+TEST(ParallelParityTest, ScoreIsBitwiseIdenticalAcrossThreadCounts) {
+  for (uint64_t seed : {3u, 14u, 159u}) {
+    const auto workload = MakeWorkload(seed);
+    const InferenceEngine engine(workload.instance);
+    const std::vector<size_t>& candidates = engine.InformativeClasses();
+    ASSERT_FALSE(candidates.empty());
+
+    for (auto objective : {LookaheadStrategy::Objective::kMinMax,
+                           LookaheadStrategy::Objective::kExpected,
+                           LookaheadStrategy::Objective::kEntropy}) {
+      LookaheadStrategy serial(objective);
+      serial.set_thread_pool(nullptr);
+      const std::vector<double> reference =
+          serial.Score(engine, candidates);
+
+      for (size_t threads : {1u, 2u, 8u}) {
+        exec::ThreadPool pool(threads);
+        LookaheadStrategy parallel(objective);
+        parallel.set_thread_pool(&pool);
+        const std::vector<double> scores =
+            parallel.Score(engine, candidates);
+        ASSERT_EQ(scores.size(), reference.size());
+        for (size_t i = 0; i < scores.size(); ++i) {
+          // Bitwise equality, not approximate: the parallel path runs the
+          // same arithmetic per candidate, just elsewhere.
+          EXPECT_EQ(scores[i], reference[i])
+              << "seed=" << seed << " threads=" << threads << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelParityTest, PickClassIsIdenticalAcrossThreadCounts) {
+  for (uint64_t seed : {7u, 21u, 77u}) {
+    const auto workload = MakeWorkload(seed);
+    const InferenceEngine engine(workload.instance);
+
+    LookaheadStrategy serial(LookaheadStrategy::Objective::kEntropy);
+    serial.set_thread_pool(nullptr);
+    const size_t reference = serial.PickClass(engine);
+
+    for (size_t threads : {1u, 2u, 8u}) {
+      exec::ThreadPool pool(threads);
+      LookaheadStrategy parallel(LookaheadStrategy::Objective::kEntropy);
+      parallel.set_thread_pool(&pool);
+      EXPECT_EQ(parallel.PickClass(engine), reference)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelParityTest, SampledCandidateCapMatchesSerialPath) {
+  // max_candidates smaller than the pool exercises the strided subsample in
+  // both paths; the -inf slots and the sampled scores must line up exactly.
+  const auto workload = MakeWorkload(42, /*tuples=*/500);
+  const InferenceEngine engine(workload.instance);
+  const std::vector<size_t>& candidates = engine.InformativeClasses();
+  ASSERT_GT(candidates.size(), 8u);
+
+  LookaheadStrategy serial(LookaheadStrategy::Objective::kEntropy,
+                           /*alpha=*/1.0, /*max_candidates=*/7);
+  serial.set_thread_pool(nullptr);
+  const std::vector<double> reference = serial.Score(engine, candidates);
+
+  exec::ThreadPool pool(8);
+  LookaheadStrategy parallel(LookaheadStrategy::Objective::kEntropy,
+                             /*alpha=*/1.0, /*max_candidates=*/7);
+  parallel.set_thread_pool(&pool);
+  const std::vector<double> scores = parallel.Score(engine, candidates);
+  EXPECT_EQ(scores, reference);
+}
+
+/// The full transcript of a mode-4 session: every asked class, shown tuple,
+/// answer, and pruning count.
+std::vector<std::tuple<size_t, size_t, Label, size_t>> Transcript(
+    const SessionResult& result) {
+  std::vector<std::tuple<size_t, size_t, Label, size_t>> transcript;
+  for (const SessionStep& step : result.steps) {
+    transcript.emplace_back(step.class_id, step.tuple_index, step.label,
+                            step.pruned_tuples);
+  }
+  return transcript;
+}
+
+TEST(ParallelParityTest, FullSessionTranscriptsIdenticalAcrossThreadCounts) {
+  for (uint64_t seed : {11u, 97u}) {
+    const auto workload = MakeWorkload(seed);
+
+    LookaheadStrategy serial(LookaheadStrategy::Objective::kEntropy);
+    serial.set_thread_pool(nullptr);
+    const SessionResult reference =
+        RunSession(workload.instance, workload.goal, serial);
+    ASSERT_TRUE(reference.identified_goal);
+
+    for (size_t threads : {1u, 2u, 8u}) {
+      exec::ThreadPool pool(threads);
+      LookaheadStrategy parallel(LookaheadStrategy::Objective::kEntropy);
+      parallel.set_thread_pool(&pool);
+      const SessionResult result =
+          RunSession(workload.instance, workload.goal, parallel);
+      EXPECT_EQ(result.interactions, reference.interactions);
+      EXPECT_EQ(result.identified_goal, reference.identified_goal);
+      EXPECT_EQ(Transcript(result), Transcript(reference))
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelParityTest, Figure1SessionTranscriptParity) {
+  // The paper's own instance, end to end.
+  auto instance = workload::Figure1InstancePtr();
+  const auto goal =
+      JoinPredicate::Parse(instance->schema(), workload::kQ2).value();
+
+  LookaheadStrategy serial(LookaheadStrategy::Objective::kMinMax);
+  serial.set_thread_pool(nullptr);
+  const SessionResult reference = RunSession(instance, goal, serial);
+
+  for (size_t threads : {2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    LookaheadStrategy parallel(LookaheadStrategy::Objective::kMinMax);
+    parallel.set_thread_pool(&pool);
+    const SessionResult result = RunSession(instance, goal, parallel);
+    EXPECT_EQ(Transcript(result), Transcript(reference));
+  }
+}
+
+}  // namespace
+}  // namespace jim::core

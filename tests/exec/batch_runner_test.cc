@@ -1,0 +1,150 @@
+#include "exec/batch_runner.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/jim.h"
+#include "exec/thread_pool.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+#include "workload/travel.h"
+
+namespace jim::exec {
+namespace {
+
+using core::InferenceEngine;
+using core::SessionResult;
+
+workload::SyntheticWorkload MakeWorkload(uint64_t seed) {
+  util::Rng rng(seed);
+  workload::SyntheticSpec spec;
+  spec.num_attributes = 6;
+  spec.num_tuples = 200;
+  spec.domain_size = 4;
+  spec.goal_constraints = 2;
+  return workload::MakeSyntheticWorkload(spec, rng);
+}
+
+/// The (strategy × seed) grid the benches sweep, against one prototype.
+std::vector<SessionSpec> MakeSpecs(
+    const std::shared_ptr<const InferenceEngine>& prototype,
+    const core::JoinPredicate& goal) {
+  const std::vector<std::string> strategies = {
+      "random", "local-bottom-up", "lookahead-entropy"};
+  std::vector<SessionSpec> specs;
+  for (const std::string& name : strategies) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      SessionSpec spec(prototype, goal);
+      spec.make_strategy = [name, seed] {
+        return core::MakeStrategy(name, seed).value();
+      };
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+void ExpectSameSessions(const std::vector<SessionResult>& a,
+                        const std::vector<SessionResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].interactions, b[i].interactions) << "job " << i;
+    EXPECT_EQ(a[i].wasted_interactions, b[i].wasted_interactions)
+        << "job " << i;
+    EXPECT_EQ(a[i].identified_goal, b[i].identified_goal) << "job " << i;
+    ASSERT_EQ(a[i].steps.size(), b[i].steps.size()) << "job " << i;
+    for (size_t s = 0; s < a[i].steps.size(); ++s) {
+      EXPECT_EQ(a[i].steps[s].class_id, b[i].steps[s].class_id);
+      EXPECT_EQ(a[i].steps[s].tuple_index, b[i].steps[s].tuple_index);
+      EXPECT_EQ(a[i].steps[s].label, b[i].steps[s].label);
+      EXPECT_EQ(a[i].steps[s].pruned_tuples, b[i].steps[s].pruned_tuples);
+    }
+  }
+}
+
+TEST(BatchSessionRunnerTest, MatchesDirectRunSessionJobByJob) {
+  const auto workload = MakeWorkload(91);
+  auto prototype = std::make_shared<const InferenceEngine>(workload.instance);
+  const std::vector<SessionSpec> specs = MakeSpecs(prototype, workload.goal);
+
+  ThreadPool pool(4);
+  const BatchSessionRunner runner(&pool);
+  const std::vector<SessionResult> batch = runner.Run(specs);
+
+  // Reference: the exact sessions the specs describe, run one by one on a
+  // fresh engine each (no clones, no pool).
+  std::vector<SessionResult> direct;
+  for (const SessionSpec& spec : specs) {
+    auto strategy = spec.make_strategy();
+    direct.push_back(
+        core::RunSession(workload.instance, spec.goal, *strategy));
+  }
+  ExpectSameSessions(batch, direct);
+}
+
+TEST(BatchSessionRunnerTest, IdenticalAtAnyThreadCount) {
+  const auto workload = MakeWorkload(17);
+  auto prototype = std::make_shared<const InferenceEngine>(workload.instance);
+  const std::vector<SessionSpec> specs = MakeSpecs(prototype, workload.goal);
+
+  const std::vector<SessionResult> serial =
+      BatchSessionRunner(nullptr).Run(specs);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const std::vector<SessionResult> parallel =
+        BatchSessionRunner(&pool).Run(specs);
+    ExpectSameSessions(parallel, serial);
+  }
+}
+
+TEST(BatchSessionRunnerTest, PrototypeStaysPristine) {
+  const auto workload = MakeWorkload(5);
+  auto prototype = std::make_shared<const InferenceEngine>(workload.instance);
+  const size_t informative_before = prototype->InformativeClasses().size();
+
+  ThreadPool pool(4);
+  BatchSessionRunner(&pool).Run(MakeSpecs(prototype, workload.goal));
+
+  EXPECT_FALSE(prototype->IsDone());
+  EXPECT_EQ(prototype->InformativeClasses().size(), informative_before);
+  EXPECT_EQ(prototype->history().size(), 0u);
+}
+
+TEST(BatchSessionRunnerTest, CustomOracleFactoryIsUsed) {
+  auto instance = workload::Figure1InstancePtr();
+  const auto goal =
+      core::JoinPredicate::Parse(instance->schema(), workload::kQ2).value();
+  auto prototype = std::make_shared<const InferenceEngine>(instance);
+
+  // A noisy oracle with a fixed seed is still deterministic; just check the
+  // factory is honored by comparing against the direct run with the same
+  // noise stream.
+  const auto make_oracle = [goal] {
+    return std::make_unique<core::NoisyOracle>(goal, 0.3, /*seed=*/7);
+  };
+  SessionSpec spec(prototype, goal);
+  spec.make_strategy = [] {
+    return core::MakeStrategy("local-bottom-up").value();
+  };
+  spec.make_oracle = make_oracle;
+
+  ThreadPool pool(2);
+  const std::vector<SessionResult> batch =
+      BatchSessionRunner(&pool).Run({spec});
+
+  auto strategy = core::MakeStrategy("local-bottom-up").value();
+  auto oracle = make_oracle();
+  const SessionResult direct = core::RunSession(
+      instance, goal, *strategy, *oracle, core::SessionOptions{});
+  ExpectSameSessions(batch, {direct});
+}
+
+TEST(BatchSessionRunnerTest, EmptyBatch) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(BatchSessionRunner(&pool).Run({}).empty());
+}
+
+}  // namespace
+}  // namespace jim::exec

@@ -1,0 +1,72 @@
+#include "exec/scratch_pool.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lattice/partition.h"
+
+namespace jim::exec {
+namespace {
+
+TEST(ScratchPoolTest, GrowsAndNeverShrinks) {
+  ScratchPool pool;
+  EXPECT_EQ(pool.size(), 0u);
+  pool.EnsureSlots(3);
+  EXPECT_EQ(pool.size(), 3u);
+  pool.EnsureSlots(1);
+  EXPECT_EQ(pool.size(), 3u);
+  pool.EnsureSlots(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ScratchPoolTest, SlotAddressesAreStableAcrossGrowth) {
+  ScratchPool pool;
+  pool.EnsureSlots(2);
+  EvalScratch* first = &pool.Slot(0);
+  EvalScratch* second = &pool.Slot(1);
+  pool.EnsureSlots(64);
+  EXPECT_EQ(&pool.Slot(0), first);
+  EXPECT_EQ(&pool.Slot(1), second);
+}
+
+TEST(ScratchPoolTest, SlotsAreDistinct) {
+  ScratchPool pool;
+  pool.EnsureSlots(4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) {
+      EXPECT_NE(&pool.Slot(i), &pool.Slot(j));
+    }
+  }
+}
+
+TEST(ScratchPoolTest, SlotsSurviveReuseAcrossEpochs) {
+  // A slot's PartitionScratch is epoch-stamped: the same slot can serve any
+  // number of kernel rounds, and results stay exact. Meet the same pair
+  // through one slot many times, interleaved with unrelated kernel work
+  // that dirties the scratch tables.
+  ScratchPool pool;
+  pool.EnsureSlots(2);
+
+  const lat::Partition a =
+      lat::Partition::FromLabels({0, 0, 1, 2, 1, 3, 0, 2});
+  const lat::Partition b =
+      lat::Partition::FromLabels({0, 1, 1, 2, 2, 3, 3, 0});
+  const lat::Partition expected = a.Meet(b);
+
+  for (int round = 0; round < 100; ++round) {
+    EvalScratch& slot = pool.Slot(round % 2);
+    // Dirty the scratch with a different-size problem first.
+    const lat::Partition noise =
+        lat::Partition::FromLabels({0, 1, 0, 1, 2, 2, 0, 1, 2, 0, 1, 2});
+    lat::Partition noise_out;
+    noise.MeetInto(noise, noise_out, slot.scratch);
+
+    a.MeetInto(b, slot.meet_tmp, slot.scratch);
+    EXPECT_EQ(slot.meet_tmp, expected) << "round " << round;
+    EXPECT_TRUE(expected.RefinesWith(a, slot.scratch));
+    EXPECT_TRUE(expected.RefinesWith(b, slot.scratch));
+  }
+}
+
+}  // namespace
+}  // namespace jim::exec
