@@ -52,7 +52,7 @@ int main() {
           core::LookaheadStrategy::Objective::kEntropy, /*alpha=*/1.0, cap);
       util::Stopwatch clock;
       const auto result =
-          core::RunSession(workload.instance, workload.goal, strategy);
+          core::RunSession(workload.store, workload.goal, strategy);
       interactions.Add(static_cast<double>(result.interactions));
       millis.Add(result.steps.empty()
                      ? 0
@@ -78,7 +78,7 @@ int main() {
       core::LookaheadStrategy strategy(
           core::LookaheadStrategy::Objective::kEntropy, alpha, 256);
       const auto result =
-          core::RunSession(workload.instance, workload.goal, strategy);
+          core::RunSession(workload.store, workload.goal, strategy);
       interactions.Add(static_cast<double>(result.interactions));
     }
     alpha_table.AddRow(

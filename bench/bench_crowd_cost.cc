@@ -21,6 +21,7 @@ int main() {
   const rel::Relation cards = workload::AllSetCards();
   util::Rng rng(3);
   auto pair_instance = workload::SetPairInstance(/*sample_size=*/0, rng);
+  auto pair_store = core::MakeRelationStore(pair_instance);
   auto goal = core::JoinPredicate::Parse(pair_instance->schema(),
                                          "Left.Color=Right.Color")
                   .value();
@@ -46,7 +47,7 @@ int main() {
          [&](const crowd::CrowdOptions& options) {
            auto strategy =
                core::MakeStrategy("lookahead-entropy", options.seed).value();
-           return crowd::RunCrowdJim(pair_instance, goal, *strategy, options);
+           return crowd::RunCrowdJim(pair_store, goal, *strategy, options);
          }},
         {"transitive [5]",
          [&](const crowd::CrowdOptions& options) {

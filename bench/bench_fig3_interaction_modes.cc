@@ -26,7 +26,7 @@ using namespace jim;
 
 struct Scenario {
   std::string name;
-  std::shared_ptr<const rel::Relation> instance;
+  std::shared_ptr<const core::TupleStore> store;
   core::JoinPredicate goal;
 };
 
@@ -37,18 +37,18 @@ int main(int argc, char** argv) {
   std::vector<Scenario> scenarios;
 
   {
-    auto instance = workload::Figure1InstancePtr();
+    auto store = workload::Figure1StorePtr();
     scenarios.push_back(
-        {"travel/Q2 (12 tuples)", instance,
-         core::JoinPredicate::Parse(instance->schema(), workload::kQ2)
+        {"travel/Q2 (12 tuples)", store,
+         core::JoinPredicate::Parse(store->schema(), workload::kQ2)
              .value()});
   }
   {
     util::Rng rng(31);
-    auto instance = workload::SetPairInstance(/*sample_size=*/600, rng);
-    scenarios.push_back({"set-cards sample (600 pairs)", instance,
+    auto store = workload::SetPairStore(/*sample_size=*/600, rng);
+    scenarios.push_back({"set-cards sample (600 pairs)", store,
                          workload::SameColorAndShadingGoal(
-                             instance->schema())});
+                             store->schema())});
   }
   {
     util::Rng rng(32);
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     spec.goal_constraints = 2;
     auto workload = workload::MakeSyntheticWorkload(spec, rng);
     scenarios.push_back(
-        {"synthetic (400 tuples, 7 attrs)", workload.instance, workload.goal});
+        {"synthetic (400 tuples, 7 attrs)", workload.store, workload.goal});
   }
 
   constexpr size_t kRepetitions = 15;
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
   specs.reserve(scenarios.size() * 4 * kRepetitions);
   for (const Scenario& scenario : scenarios) {
     auto prototype =
-        std::make_shared<const core::InferenceEngine>(scenario.instance);
+        std::make_shared<const core::InferenceEngine>(scenario.store);
     for (int mode = 1; mode <= 4; ++mode) {
       for (size_t rep = 0; rep < kRepetitions; ++rep) {
         exec::SessionSpec spec(prototype, scenario.goal);

@@ -24,23 +24,23 @@ int main(int argc, char** argv) {
 
   struct Scenario {
     std::string name;
-    std::shared_ptr<const rel::Relation> instance;
+    std::shared_ptr<const core::TupleStore> store;
     core::JoinPredicate goal;
   };
   std::vector<Scenario> scenarios;
   {
-    auto instance = workload::Figure1InstancePtr();
+    auto store = workload::Figure1StorePtr();
     scenarios.push_back(
-        {"flight&hotel packages, goal Q2", instance,
-         core::JoinPredicate::Parse(instance->schema(), workload::kQ2)
+        {"flight&hotel packages, goal Q2", store,
+         core::JoinPredicate::Parse(store->schema(), workload::kQ2)
              .value()});
   }
   {
     util::Rng rng(77);
-    auto instance = workload::SetPairInstance(/*sample_size=*/1500, rng);
+    auto store = workload::SetPairStore(/*sample_size=*/1500, rng);
     scenarios.push_back(
         {"tagged pictures (1500 card pairs), goal same Color+Shading",
-         instance, workload::SameColorAndShadingGoal(instance->schema())});
+         store, workload::SameColorAndShadingGoal(store->schema())});
   }
 
   constexpr size_t kRepetitions = 25;
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   specs.reserve(scenarios.size() * 4 * kRepetitions);
   for (const Scenario& scenario : scenarios) {
     auto prototype =
-        std::make_shared<const core::InferenceEngine>(scenario.instance);
+        std::make_shared<const core::InferenceEngine>(scenario.store);
     for (int mode = 1; mode <= 4; ++mode) {
       for (size_t r = 0; r < kRepetitions; ++r) {
         // The same seed schedule bench::Repeat(base = 900 + mode) derives.

@@ -17,6 +17,7 @@ int main() {
   using namespace jim;
 
   auto instance = workload::Figure1InstancePtr();
+  auto store = workload::Figure1StorePtr();
   const auto q1 =
       core::JoinPredicate::Parse(instance->schema(), workload::kQ1).value();
   const auto q2 =
@@ -33,7 +34,7 @@ int main() {
   print_check("Q2 selects {3,4}", q2.SelectedRows(*instance).ToVector() ==
                                       std::vector<size_t>({2, 3}));
   {
-    core::InferenceEngine engine(instance);
+    core::InferenceEngine engine(store);
     (void)engine.SubmitTupleLabel(11, core::Label::kPositive);
     size_t grayed = 0;
     for (size_t t = 0; t < 12; ++t) {
@@ -46,7 +47,7 @@ int main() {
     print_check("(12)+ grays out exactly 3 tuples {3,4,7}", grayed == 3);
   }
   {
-    core::InferenceEngine engine(instance);
+    core::InferenceEngine engine(store);
     (void)engine.SubmitTupleLabel(11, core::Label::kNegative);
     size_t grayed = 0;
     for (size_t t = 0; t < 12; ++t) {
@@ -71,13 +72,13 @@ int main() {
     bool identified = true;
     {
       auto strategy = core::MakeStrategy(name, 17).value();
-      const auto result = core::RunSession(instance, q1, *strategy);
+      const auto result = core::RunSession(store, q1, *strategy);
       interactions_q1 = result.interactions;
       identified = identified && result.identified_goal;
     }
     {
       auto strategy = core::MakeStrategy(name, 17).value();
-      const auto result = core::RunSession(instance, q2, *strategy);
+      const auto result = core::RunSession(store, q2, *strategy);
       interactions_q2 = result.interactions;
       identified = identified && result.identified_goal;
     }
@@ -88,7 +89,7 @@ int main() {
 
   std::cout << "\ntrace of lookahead-entropy inferring Q2:\n";
   auto strategy = core::MakeStrategy("lookahead-entropy").value();
-  const auto result = core::RunSession(instance, q2, *strategy);
+  const auto result = core::RunSession(store, q2, *strategy);
   for (size_t i = 0; i < result.steps.size(); ++i) {
     const auto& step = result.steps[i];
     std::cout << "  step " << i + 1 << ": asked tuple (" << step.tuple_index + 1

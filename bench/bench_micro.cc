@@ -13,6 +13,8 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -94,10 +96,52 @@ void RegisterAll(std::vector<BenchResult>& results) {
       RunBench("BellNumber", -1, [] { DoNotOptimize(lat::BellNumber(20)); }));
   for (size_t tuples : {1000, 10000, 100000}) {
     const auto workload = MakeSynthetic(tuples, 5);
+    // The historical cross-commit metric: full class construction over a
+    // pre-encoded store on the serial path (parallelism is measured
+    // explicitly below, at controlled thread counts).
     results.push_back(RunBench("EngineBuild", static_cast<int64_t>(tuples), [&] {
-      core::InferenceEngine engine(workload.instance);
+      core::InferenceEngine engine(workload.store, /*pool=*/nullptr);
       DoNotOptimize(engine.num_classes());
     }));
+  }
+  // The columnar ingest pipeline, measured in its two stages:
+  //   IngestEncode      — dictionary-encoding a materialized relation into a
+  //                       RelationTupleStore (arg = tuples);
+  //   BuildClasses{10k,100k} — code-kernel Part(t) extraction + grouping at
+  //                       controlled thread counts (arg = threads);
+  //   BuildClassesLegacy{10k,100k} — the pre-columnar reference: Part(t) via
+  //                       Value::Equals (TuplePartition) per row, classes
+  //                       grouped in a Partition-keyed hash map.
+  // WriteJson derives tuples/sec and the legacy→codes speedup from these.
+  for (size_t tuples : {10000, 100000}) {
+    const auto workload = MakeSynthetic(tuples, 9);
+    const char* suffix = tuples == 10000 ? "10k" : "100k";
+    results.push_back(RunBench(std::string("IngestEncode"),
+                               static_cast<int64_t>(tuples), [&] {
+                                 DoNotOptimize(core::MakeRelationStore(
+                                                   workload.instance)
+                                                   ->num_tuples());
+                               }));
+    for (size_t threads : {1, 4}) {
+      exec::ThreadPool pool(threads);
+      results.push_back(RunBench(std::string("BuildClasses") + suffix,
+                                 static_cast<int64_t>(threads), [&] {
+                                   core::InferenceEngine engine(
+                                       workload.store,
+                                       threads > 1 ? &pool : nullptr);
+                                   DoNotOptimize(engine.num_classes());
+                                 }));
+    }
+    results.push_back(RunBench(
+        std::string("BuildClassesLegacy") + suffix,
+        static_cast<int64_t>(tuples), [&] {
+          std::unordered_map<lat::Partition, size_t, lat::PartitionHash> ids;
+          for (size_t t = 0; t < workload.instance->num_rows(); ++t) {
+            ids.emplace(core::TuplePartition(workload.instance->row(t)),
+                        ids.size());
+          }
+          DoNotOptimize(ids.size());
+        }));
   }
   for (size_t tuples : {1000, 10000}) {
     const auto workload = MakeSynthetic(tuples, 6);
@@ -239,6 +283,45 @@ bool WriteJson(const std::vector<BenchResult>& results,
   if (serial_ns > 0 && four_thread_ns > 0) {
     json.KeyValue("lookahead_pick_class_speedup_4t",
                   serial_ns / four_thread_ns);
+  }
+  // Ingest/BuildClasses throughput + the speedup of the code-kernel class
+  // construction over the legacy Value-row path (same instance).
+  const auto find_ns = [&results](const std::string& name,
+                                  int64_t arg) -> double {
+    for (const auto& r : results) {
+      if (r.name == name && r.arg == arg) return r.ns_per_op;
+    }
+    return 0;
+  };
+  const std::vector<std::pair<std::string, double>> sizes = {
+      {"10k", 10000.0}, {"100k", 100000.0}};
+  for (const auto& size : sizes) {
+    const double encode_ns = find_ns("IngestEncode",
+                                     static_cast<int64_t>(size.second));
+    if (encode_ns > 0) {
+      json.KeyValue("ingest_encode_tuples_per_sec_" + size.first,
+                    size.second * 1e9 / encode_ns);
+    }
+    const double build_1t = find_ns("BuildClasses" + size.first, 1);
+    const double build_4t = find_ns("BuildClasses" + size.first, 4);
+    const double legacy = find_ns("BuildClassesLegacy" + size.first,
+                                  static_cast<int64_t>(size.second));
+    if (build_1t > 0) {
+      json.KeyValue("build_classes_tuples_per_sec_" + size.first + "_1t",
+                    size.second * 1e9 / build_1t);
+    }
+    if (build_4t > 0) {
+      json.KeyValue("build_classes_tuples_per_sec_" + size.first + "_4t",
+                    size.second * 1e9 / build_4t);
+    }
+    if (legacy > 0 && build_1t > 0) {
+      json.KeyValue("build_classes_speedup_" + size.first,
+                    legacy / build_1t);
+    }
+    if (legacy > 0 && build_4t > 0) {
+      json.KeyValue("build_classes_speedup_" + size.first + "_4t",
+                    legacy / build_4t);
+    }
   }
   json.Key("results");
   json.BeginArray();

@@ -19,19 +19,19 @@ int main() {
 
   struct Scenario {
     std::string name;
-    std::shared_ptr<const rel::Relation> instance;
+    std::shared_ptr<const core::TupleStore> store;
     core::JoinPredicate goal;
   };
   std::vector<Scenario> scenarios;
   {
-    auto instance = workload::Figure1InstancePtr();
+    auto store = workload::Figure1StorePtr();
     scenarios.push_back(
-        {"travel/Q1", instance,
-         core::JoinPredicate::Parse(instance->schema(), workload::kQ1)
+        {"travel/Q1", store,
+         core::JoinPredicate::Parse(store->schema(), workload::kQ1)
              .value()});
     scenarios.push_back(
-        {"travel/Q2", instance,
-         core::JoinPredicate::Parse(instance->schema(), workload::kQ2)
+        {"travel/Q2", store,
+         core::JoinPredicate::Parse(store->schema(), workload::kQ2)
              .value()});
   }
   // The minimax search is exponential in the class structure: ~16 tuple
@@ -52,7 +52,7 @@ int main() {
     auto workload = workload::MakeSyntheticWorkload(spec, rng);
     scenarios.push_back({util::StrFormat("synthetic %zu attrs, %zu tuples",
                                          tiny.attrs, tiny.tuples),
-                         workload.instance, workload.goal});
+                         workload.store, workload.goal});
   }
 
   std::cout << "== S4: heuristics vs the exponential optimal strategy ==\n\n";
@@ -63,7 +63,7 @@ int main() {
                        util::Align::kRight, util::Align::kRight});
 
   for (const Scenario& scenario : scenarios) {
-    core::InferenceEngine probe(scenario.instance);
+    core::InferenceEngine probe(scenario.store);
     util::Stopwatch minimax_clock;
     const size_t optimal_worst =
         core::OptimalWorstCaseQuestions(probe, /*node_budget=*/4'000'000);
@@ -75,7 +75,7 @@ int main() {
       auto strategy = core::MakeStrategy(name, 3).value();
       util::Stopwatch session_clock;
       const auto result =
-          core::RunSession(scenario.instance, scenario.goal, *strategy);
+          core::RunSession(scenario.store, scenario.goal, *strategy);
       const double ms_per_decision =
           result.steps.empty()
               ? 0

@@ -15,8 +15,8 @@ int main() {
   using namespace jim;
 
   util::Rng rng(5);
-  auto instance = workload::SetPairInstance(/*sample_size=*/0, rng);
-  std::cout << "== F5: inferring picture joins over " << instance->num_rows()
+  auto store = workload::SetPairStore(/*sample_size=*/0, rng);
+  std::cout << "== F5: inferring picture joins over " << store->num_tuples()
             << " candidate card pairs ==\n\n";
 
   const std::vector<std::string> strategies = {"random", "local-bottom-up",
@@ -28,7 +28,7 @@ int main() {
                        util::Align::kRight, util::Align::kRight,
                        util::Align::kRight, util::Align::kLeft});
 
-  for (const auto& goal : workload::AllFeatureMatchGoals(instance->schema())) {
+  for (const auto& goal : workload::AllFeatureMatchGoals(store->schema())) {
     std::vector<std::string> row = {
         goal.name, std::to_string(goal.predicate.NumConstraints())};
     bool identified = true;
@@ -37,7 +37,7 @@ int main() {
           bench::Repeat(name == "random" ? 9 : 1, 41, [&](uint64_t seed) {
             auto strategy = core::MakeStrategy(name, seed).value();
             const auto result =
-                core::RunSession(instance, goal.predicate, *strategy);
+                core::RunSession(store, goal.predicate, *strategy);
             if (!result.identified_goal) identified = false;
             return static_cast<double>(result.interactions);
           });

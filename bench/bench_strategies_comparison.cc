@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
       spec.goal_constraints = point.goal_eqs;
       const auto workload = workload::MakeSyntheticWorkload(spec, rng);
       auto prototype =
-          std::make_shared<core::InferenceEngine>(workload.instance);
+          std::make_shared<core::InferenceEngine>(workload.store);
       classes.Add(static_cast<double>(prototype->num_classes()));
       seeds.push_back(seed);
       prototypes.push_back(std::move(prototype));

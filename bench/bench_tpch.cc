@@ -76,17 +76,16 @@ int main(int argc, char** argv) {
       continue;
     }
     const auto& universal = *table_or;
-    auto goal = core::JoinPredicate::Parse(universal.relation()->schema(),
-                                           scenario.goal);
+    auto goal = core::JoinPredicate::Parse(universal.schema(), scenario.goal);
     if (!goal.ok()) {
       std::cerr << scenario.name << ": " << goal.status().ToString() << "\n";
       continue;
     }
 
-    core::InferenceEngine probe(universal.relation());
+    core::InferenceEngine probe(universal.store());
     std::vector<std::string> row = {
         scenario.name, std::to_string(scenario.goal_constraints),
-        std::to_string(universal.relation()->num_rows()),
+        std::to_string(universal.num_tuples()),
         std::to_string(probe.num_classes())};
     bool identified = true;
     for (const std::string& name : strategies) {
@@ -94,7 +93,7 @@ int main(int argc, char** argv) {
           bench::Repeat(name == "random" ? 5 : 1, 88, [&](uint64_t seed) {
             auto strategy = core::MakeStrategy(name, seed).value();
             const auto result =
-                core::RunSession(universal.relation(), *goal, *strategy);
+                core::RunSession(universal.store(), *goal, *strategy);
             if (!result.identified_goal) identified = false;
             return static_cast<double>(result.interactions);
           });

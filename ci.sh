@@ -7,6 +7,12 @@
 # the determinism/COW parity suites under it — the suites that actually
 # exercise cross-thread interleavings. Set JIM_SKIP_TSAN=1 to skip the
 # stage (e.g. on a toolchain without libtsan).
+#
+# A third stage rebuilds under AddressSanitizer (-DJIM_SANITIZE=address) and
+# runs the columnar storage/ingest suites — dictionary encoding, the
+# TupleStore implementations, the factorized universal table, and the
+# encoded-vs-legacy parity tests, the code that does the pointer-heavy code
+# matrix and row-id work. Set JIM_SKIP_ASAN=1 to skip.
 set -euxo pipefail
 cd "$(dirname "$0")"
 
@@ -19,7 +25,20 @@ if [[ "${JIM_SKIP_TSAN:-0}" != "1" ]]; then
     -DJIM_SANITIZE=thread -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j --target \
     exec_thread_pool_test exec_scratch_pool_test exec_batch_runner_test \
-    core_parallel_parity_test core_engine_cow_test
-  (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-    -R 'ThreadPool|ScratchPool|BatchSessionRunner|ParallelParity|EngineCow')
+    core_parallel_parity_test core_engine_cow_test core_encoded_parity_test
+  (cd build-tsan && \
+    TSAN_OPTIONS="suppressions=$(pwd)/../tsan.supp ${TSAN_OPTIONS:-}" \
+    ctest --output-on-failure -j"$(nproc)" \
+    -R 'ThreadPool|ScratchPool|BatchSessionRunner|ParallelParity|EngineCow|EncodedParity')
+fi
+
+if [[ "${JIM_SKIP_ASAN:-0}" != "1" ]]; then
+  cmake -B build-asan -S . \
+    -DJIM_SANITIZE=address -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j --target \
+    relational_dictionary_test core_tuple_store_test \
+    query_factorized_parity_test core_encoded_parity_test query_query_test \
+    core_engine_cow_test
+  (cd build-asan && ctest --output-on-failure -j"$(nproc)" \
+    -R 'Dictionary|EncodeColumn|EncodedRelation|TupleStore|FactorizedParity|EncodedParity|UniversalTable|EngineCow')
 fi

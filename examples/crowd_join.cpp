@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   const rel::Relation cards = workload::AllSetCards();
   util::Rng rng(7);
   auto pair_instance = workload::SetPairInstance(/*sample_size=*/0, rng);
+  auto pair_store = core::MakeRelationStore(pair_instance);
   auto goal =
       core::JoinPredicate::Parse(pair_instance->schema(),
                                  "Left.Color=Right.Color")
@@ -77,7 +78,7 @@ int main(int argc, char** argv) {
   {
     auto strategy = core::MakeStrategy("lookahead-entropy").value();
     add_row("JIM (crowd-answered)",
-            crowd::RunCrowdJim(pair_instance, goal, *strategy, options));
+            crowd::RunCrowdJim(pair_store, goal, *strategy, options));
   }
   add_row("transitive crowd join [5]",
           crowd::RunTransitiveCrowdJoin(cards, goal, options));

@@ -86,16 +86,16 @@ int CmdDemo() {
                "demo (auto mode).\n"
                "usage: jim_cli {infer|classes|eval|strategies} ...  "
                "(see the header of examples/jim_cli.cpp)\n\n";
-  auto instance = workload::Figure1InstancePtr();
+  auto store = workload::Figure1StorePtr();
   auto goal =
-      core::JoinPredicate::Parse(instance->schema(), workload::kQ2).value();
+      core::JoinPredicate::Parse(store->schema(), workload::kQ2).value();
   ui::DemoOptions options;
   options.strategy = "lookahead-entropy";
   options.auto_oracle = std::make_unique<core::ExactOracle>(goal);
   auto result =
-      ui::RunConsoleDemo(instance, std::move(options), std::cin, std::cout);
+      ui::RunConsoleDemo(store, std::move(options), std::cin, std::cout);
   if (!result.ok()) return Fail(result.status().ToString());
-  const bool identified = core::InstanceEquivalent(*instance, *result, goal);
+  const bool identified = core::InstanceEquivalent(*store, *result, goal);
   std::cout << "identified the goal: " << (identified ? "yes" : "NO") << "\n";
   return identified ? 0 : 1;
 }
@@ -111,7 +111,7 @@ int CmdStrategies() {
 int CmdClasses(const Flags& flags) {
   auto instance = LoadInstance(flags);
   if (!instance.ok()) return Fail(instance.status().ToString());
-  core::InferenceEngine engine(*instance);
+  core::InferenceEngine engine(core::MakeRelationStore(*instance));
   std::cout << "instance: " << (*instance)->num_rows() << " tuples, "
             << (*instance)->num_attributes() << " attributes, "
             << engine.num_classes() << " tuple classes\n\n";

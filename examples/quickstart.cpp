@@ -32,8 +32,10 @@ int main() {
   std::cout << "Goal the (simulated) user has in mind: " << goal.ToString()
             << "\n\n";
 
-  // (2) Engine + strategy.
-  core::InferenceEngine engine(instance);
+  // (2) Engine + strategy. The engine consumes the instance through the
+  // TupleStore seam: the wrap dictionary-encodes every cell once, and class
+  // construction runs on integer codes.
+  core::InferenceEngine engine(core::MakeRelationStore(instance));
   auto strategy = core::MakeStrategy("lookahead-entropy").value();
 
   // (3) The interactive loop of the paper's Figure 2.

@@ -40,22 +40,21 @@ void RunScenario(const jim::rel::Catalog& catalog,
   for (size_t i = 0; i < relations.size(); ++i) {
     std::cout << (i ? ", " : "") << relations[i];
   }
-  std::cout << "}: " << table.relation()->num_rows() << " candidate tuples"
+  std::cout << "}: " << table.num_tuples() << " candidate tuples"
             << (table.is_sampled()
                     ? " (sampled from " +
                           std::to_string(table.full_product_size()) + ")"
                     : "")
             << "\n";
 
-  auto goal =
-      core::JoinPredicate::Parse(table.relation()->schema(), goal_text)
-          .value();
+  auto goal = core::JoinPredicate::Parse(table.schema(), goal_text).value();
   std::cout << "user's intended mapping: " << goal.ToString() << "\n";
 
-  // Interactive inference with a simulated user.
+  // Interactive inference with a simulated user, over the factorized store
+  // (candidate tuples stay row ids; only asked tuples are decoded).
   auto strategy = core::MakeStrategy("lookahead-entropy").value();
   const core::SessionResult session =
-      core::RunSession(table.relation(), goal, *strategy);
+      core::RunSession(table.store(), goal, *strategy);
 
   std::cout << "membership questions asked: " << session.interactions << "\n"
             << "inferred predicate: " << session.result->ToString() << "\n";

@@ -34,35 +34,35 @@ int main(int argc, char** argv) {
   }
 
   util::Rng rng(2014);
-  auto instance = workload::SetPairInstance(pairs, rng);
-  std::cout << "candidate pairs of pictures: " << instance->num_rows()
-            << " (over " << instance->num_attributes()
+  auto store = workload::SetPairStore(pairs, rng);
+  std::cout << "candidate pairs of pictures: " << store->num_tuples()
+            << " (over " << store->num_attributes()
             << " tag attributes)\n\n";
 
   if (!all_goals) {
     // The demo's example: "select the pairs of pictures having the same
     // color and the same shading".
     const core::JoinPredicate goal =
-        workload::SameColorAndShadingGoal(instance->schema());
+        workload::SameColorAndShadingGoal(store->schema());
     core::ExactOracle user(goal);
-    core::InferenceEngine engine(instance);
+    core::InferenceEngine engine(store);
     auto strategy = core::MakeStrategy("lookahead-entropy").value();
 
     size_t round = 0;
     while (!engine.IsDone()) {
       const size_t cls = strategy->PickClass(engine);
       const size_t tuple = engine.tuple_class(cls).tuple_indices[0];
-      const core::Label answer = user.LabelFor(instance->row(tuple));
+      const core::Label answer = user.LabelFor(store->DecodeTuple(tuple));
       std::cout << "Q" << ++round << ": do these two cards join?\n      "
-                << ui::RenderTuple(*instance, tuple) << "\n      user: "
+                << ui::RenderTuple(*store, tuple) << "\n      user: "
                 << core::LabelToString(answer) << "\n";
       (void)engine.SubmitClassLabel(cls, answer);
     }
     std::cout << "\ninferred: " << engine.Result().ToString() << "\n"
               << "questions asked: " << round << " out of "
-              << instance->num_rows() << " candidate pairs ("
+              << store->num_tuples() << " candidate pairs ("
               << 100.0 * static_cast<double>(round) /
-                     static_cast<double>(instance->num_rows())
+                     static_cast<double>(store->num_tuples())
               << "%)\n";
     return 0;
   }
@@ -71,10 +71,10 @@ int main(int argc, char** argv) {
   util::TablePrinter table({"goal", "constraints", "questions", "identified"});
   table.SetAlignments({util::Align::kLeft, util::Align::kRight,
                        util::Align::kRight, util::Align::kLeft});
-  for (const auto& goal : workload::AllFeatureMatchGoals(instance->schema())) {
+  for (const auto& goal : workload::AllFeatureMatchGoals(store->schema())) {
     auto strategy = core::MakeStrategy("lookahead-entropy").value();
     const core::SessionResult result =
-        core::RunSession(instance, goal.predicate, *strategy);
+        core::RunSession(store, goal.predicate, *strategy);
     table.AddRow({goal.name, std::to_string(goal.predicate.NumConstraints()),
                   std::to_string(result.interactions),
                   result.identified_goal ? "yes" : "NO"});

@@ -116,7 +116,7 @@ int main(int argc, char** argv) {
     args.auto_user = true;
   }
 
-  auto instance = workload::Figure1InstancePtr();
+  auto instance = workload::Figure1StorePtr();
   auto goal_or = core::JoinPredicate::Parse(instance->schema(), args.goal);
   if (!goal_or.ok()) {
     std::cerr << "bad --goal: " << goal_or.status().ToString() << "\n";

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <unordered_map>
 
+#include "exec/parallel.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace jim::core {
@@ -40,40 +43,128 @@ std::string_view TupleStatusToString(TupleStatus status) {
   return "?";
 }
 
-InferenceEngine::InferenceEngine(std::shared_ptr<const rel::Relation> relation)
-    : relation_(std::move(relation)),
-      state_(relation_->num_attributes()) {
-  JIM_CHECK(relation_ != nullptr);
-  explicit_label_.assign(relation_->num_rows(), 0);
-  BuildClasses();
+InferenceEngine::InferenceEngine(std::shared_ptr<const TupleStore> store,
+                                 exec::ThreadPool* pool)
+    : store_(std::move(store)), state_(store_->num_attributes()) {
+  JIM_CHECK(store_ != nullptr);
+  BuildClasses(pool);
   // Some tuples may be uninformative from the start (e.g. all-values-equal
   // tuples are selected by every predicate).
   Propagate();
 }
 
-void InferenceEngine::BuildClasses() {
-  std::unordered_map<lat::Partition, size_t, lat::PartitionHash> class_ids;
+InferenceEngine::InferenceEngine(std::shared_ptr<const TupleStore> store)
+    : InferenceEngine(std::move(store), &exec::SharedPool()) {}
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const rel::Relation> relation)
+    : InferenceEngine(MakeRelationStore(std::move(relation))) {}
+
+namespace {
+
+/// Canonical RGS labels of one tuple's code vector, written into `labels`:
+/// the integer-kernel equivalent of TuplePartition — attributes grouped by
+/// equal codes in first-occurrence order, every NULL (kNullCode) its own
+/// singleton. Quadratic in the (small) attribute count, linear-time in
+/// practice thanks to the early `assigned` skips; no sorting, no hashing of
+/// Values. Returns an FNV-1a hash of the labels for the grouping map.
+uint64_t CodesToRgs(const uint32_t* codes, size_t n, uint16_t* labels) {
+  constexpr uint16_t kUnset = 0xFFFF;
+  for (size_t i = 0; i < n; ++i) labels[i] = kUnset;
+  uint16_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] != kUnset) continue;
+    labels[i] = next;
+    const uint32_t code = codes[i];
+    if (code != rel::kNullCode) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (labels[j] == kUnset && codes[j] == code) labels[j] = next;
+      }
+    }
+    ++next;
+  }
+  return util::Fnv1a64(labels, labels + n,
+                       util::kFnv1a64OffsetBasis ^
+                           (uint64_t{n} * 0x9e3779b97f4a7c15ull));
+}
+
+/// View key into the flat per-tuple RGS buffer, with its precomputed hash.
+struct RgsKey {
+  const uint16_t* labels;
+  uint32_t n;
+  uint64_t hash;
+};
+struct RgsKeyHash {
+  size_t operator()(const RgsKey& key) const {
+    return static_cast<size_t>(key.hash);
+  }
+};
+struct RgsKeyEq {
+  bool operator()(const RgsKey& a, const RgsKey& b) const {
+    return a.hash == b.hash && a.n == b.n &&
+           (a.n == 0 ||
+            std::memcmp(a.labels, b.labels, a.n * sizeof(uint16_t)) == 0);
+  }
+};
+
+}  // namespace
+
+void InferenceEngine::BuildClasses(exec::ThreadPool* pool) {
+  const size_t num_tuples = store_->num_tuples();
+  const size_t n = store_->num_attributes();
+  JIM_CHECK_LT(n, size_t{0xFFFF}) << "attribute count exceeds the RGS width";
+
+  // Phase 1 (parallel, deterministic): per-tuple canonical RGS labels and
+  // hashes, written by tuple index into flat buffers — pure integer work
+  // over the store's codes, no allocation past the per-chunk code buffer.
+  std::vector<uint16_t> rgs(num_tuples * n);
+  std::vector<uint64_t> hashes(num_tuples);
+  const size_t chunks =
+      pool == nullptr ? 1 : std::max<size_t>(1, pool->threads());
+  std::vector<std::vector<uint32_t>> code_buffers(
+      chunks, std::vector<uint32_t>(n));
+  const auto extract = [&](size_t t, size_t chunk) {
+    uint32_t* codes = code_buffers[chunk].data();
+    store_->TupleCodes(t, codes);
+    hashes[t] = CodesToRgs(codes, n, rgs.data() + t * n);
+  };
+  if (pool != nullptr && pool->threads() > 1 && num_tuples > 1) {
+    pool->ParallelFor(num_tuples, extract);
+  } else {
+    for (size_t t = 0; t < num_tuples; ++t) extract(t, 0);
+  }
+
+  // Phase 2 (serial merge): group equal label vectors; class ids are
+  // assigned in first-occurrence tuple order, so the table is
+  // bitwise-identical at any thread count.
+  std::unordered_map<RgsKey, size_t, RgsKeyHash, RgsKeyEq> class_ids;
   auto classes = std::make_shared<std::vector<TupleClass>>();
   auto class_of_tuple = std::make_shared<std::vector<size_t>>();
-  class_of_tuple->resize(relation_->num_rows());
-  for (size_t t = 0; t < relation_->num_rows(); ++t) {
-    lat::Partition part = TuplePartition(relation_->row(t));
-    auto [it, inserted] = class_ids.emplace(part, classes->size());
+  class_of_tuple->resize(num_tuples);
+  std::vector<int> labels(n);
+  for (size_t t = 0; t < num_tuples; ++t) {
+    const uint16_t* tuple_rgs = rgs.data() + t * n;
+    const RgsKey key{tuple_rgs, static_cast<uint32_t>(n), hashes[t]};
+    auto [it, inserted] = class_ids.emplace(key, classes->size());
     if (inserted) {
-      classes->push_back(TupleClass{std::move(part), {}});
+      for (size_t a = 0; a < n; ++a) labels[a] = tuple_rgs[a];
+      classes->push_back(
+          TupleClass{lat::Partition::FromLabels(labels), {}});
     }
     (*classes)[it->second].tuple_indices.push_back(t);
     (*class_of_tuple)[t] = it->second;
   }
-  class_status_.assign(classes->size(), ClassStatus::kInformative);
+
+  session_ = std::make_shared<SessionArrays>();
+  session_->class_status.assign(classes->size(), ClassStatus::kInformative);
+  session_->explicit_label.assign(num_tuples, 0);
   // Initially θ_P = ⊤, so K_c = ⊤ ∧ Part(c) = Part(c); every class starts on
   // the worklist.
   knowledge_ = std::make_shared<std::vector<lat::Partition>>();
   knowledge_->reserve(classes->size());
-  informative_.reserve(classes->size());
+  session_->informative.reserve(classes->size());
   for (size_t c = 0; c < classes->size(); ++c) {
     knowledge_->push_back((*classes)[c].partition);
-    informative_.push_back(c);
+    session_->informative.push_back(c);
   }
   classes_ = std::move(classes);
   class_of_tuple_ = std::move(class_of_tuple);
@@ -93,23 +184,34 @@ std::vector<lat::Partition>& InferenceEngine::MutableKnowledge() {
   return *knowledge_;
 }
 
+InferenceEngine::SessionArrays& InferenceEngine::MutableSession() {
+  // Same copy-on-write protocol as MutableKnowledge.
+  if (session_.use_count() != 1) {
+    session_ = std::make_shared<SessionArrays>(*session_);
+  } else {
+    std::atomic_thread_fence(std::memory_order_acquire);
+  }
+  return *session_;
+}
+
 size_t InferenceEngine::Propagate() {
   const lat::Partition& theta = state_.theta_p();
+  std::vector<size_t>& informative = session_->informative;
   size_t out = 0;
   size_t pruned = 0;
-  for (size_t c : informative_) {
+  for (size_t c : informative) {
     const lat::Partition& k = (*knowledge_)[c];
     if (k == theta) {
-      class_status_[c] = ClassStatus::kForcedPositive;
+      session_->class_status[c] = ClassStatus::kForcedPositive;
       ++pruned;
     } else if (state_.negatives().DominatedBy(k, scratch_)) {
-      class_status_[c] = ClassStatus::kForcedNegative;
+      session_->class_status[c] = ClassStatus::kForcedNegative;
       ++pruned;
     } else {
-      informative_[out++] = c;
+      informative[out++] = c;
     }
   }
-  informative_.resize(out);
+  informative.resize(out);
   return pruned;
 }
 
@@ -118,68 +220,71 @@ size_t InferenceEngine::PropagateAfterPositive() {
   // The in-place cache refresh below is the one mutation of K_c anywhere in
   // the engine — detach from clone sharers first.
   std::vector<lat::Partition>& knowledge = MutableKnowledge();
+  std::vector<size_t>& informative = session_->informative;
   size_t out = 0;
   size_t pruned = 0;
-  for (size_t c : informative_) {
+  for (size_t c : informative) {
     lat::Partition& k = knowledge[c];
     // The new θ_P refines the old, so meeting the *cached* knowledge with it
     // is the full refresh: K ∧ θ' = (θ ∧ Part(c)) ∧ θ' = θ' ∧ Part(c).
     k.MeetInto(theta, k, scratch_);
     if (k == theta) {
-      class_status_[c] = ClassStatus::kForcedPositive;
+      session_->class_status[c] = ClassStatus::kForcedPositive;
       ++pruned;
     } else if (state_.negatives().DominatedBy(k, scratch_)) {
-      class_status_[c] = ClassStatus::kForcedNegative;
+      session_->class_status[c] = ClassStatus::kForcedNegative;
       ++pruned;
     } else {
-      informative_[out++] = c;
+      informative[out++] = c;
     }
   }
-  informative_.resize(out);
+  informative.resize(out);
   return pruned;
 }
 
 size_t InferenceEngine::PropagateAfterNegative(
     const lat::Partition& forbidden) {
+  std::vector<size_t>& informative = session_->informative;
   size_t out = 0;
   size_t pruned = 0;
-  for (size_t c : informative_) {
+  for (size_t c : informative) {
     // θ_P is unchanged, so the only new reason to leave the pool is the
     // fresh forbidden zone: K_c was not dominated before, hence the class is
     // pruned iff K_c ≤ forbidden.
     if ((*knowledge_)[c].RefinesWith(forbidden, scratch_)) {
-      class_status_[c] = ClassStatus::kForcedNegative;
+      session_->class_status[c] = ClassStatus::kForcedNegative;
       ++pruned;
     } else {
-      informative_[out++] = c;
+      informative[out++] = c;
     }
   }
-  informative_.resize(out);
+  informative.resize(out);
   return pruned;
 }
 
 void InferenceEngine::RemoveFromWorklist(size_t class_id) {
-  auto it = std::find(informative_.begin(), informative_.end(), class_id);
-  JIM_CHECK(it != informative_.end());
-  informative_.erase(it);
+  std::vector<size_t>& informative = session_->informative;
+  auto it = std::find(informative.begin(), informative.end(), class_id);
+  JIM_CHECK(it != informative.end());
+  informative.erase(it);
 }
 
 size_t InferenceEngine::NumInformativeTuples() const {
   size_t count = 0;
-  for (size_t c : informative_) count += (*classes_)[c].size();
+  for (size_t c : session_->informative) count += (*classes_)[c].size();
   return count;
 }
 
-bool InferenceEngine::IsDone() const { return informative_.empty(); }
+bool InferenceEngine::IsDone() const { return session_->informative.empty(); }
 
 JoinPredicate InferenceEngine::Result() const {
-  return JoinPredicate(relation_->schema(), state_.theta_p());
+  return JoinPredicate(store_->schema(), state_.theta_p());
 }
 
 util::DynamicBitset InferenceEngine::CertainResultTuples() const {
-  util::DynamicBitset certain(relation_->num_rows());
+  util::DynamicBitset certain(store_->num_tuples());
   for (size_t c = 0; c < classes_->size(); ++c) {
-    if (IsPositive(class_status_[c])) {
+    if (IsPositive(session_->class_status[c])) {
       for (size_t t : (*classes_)[c].tuple_indices) certain.Set(t);
     }
   }
@@ -187,10 +292,10 @@ util::DynamicBitset InferenceEngine::CertainResultTuples() const {
 }
 
 util::DynamicBitset InferenceEngine::CertainNonResultTuples() const {
-  util::DynamicBitset certain(relation_->num_rows());
+  util::DynamicBitset certain(store_->num_tuples());
   for (size_t c = 0; c < classes_->size(); ++c) {
-    if (class_status_[c] == ClassStatus::kForcedNegative ||
-        class_status_[c] == ClassStatus::kLabeledNegative) {
+    if (session_->class_status[c] == ClassStatus::kForcedNegative ||
+        session_->class_status[c] == ClassStatus::kLabeledNegative) {
       for (size_t t : (*classes_)[c].tuple_indices) certain.Set(t);
     }
   }
@@ -199,7 +304,11 @@ util::DynamicBitset InferenceEngine::CertainNonResultTuples() const {
 
 util::Status InferenceEngine::LabelImpl(size_t class_id, size_t tuple_index,
                                         Label label) {
-  const ClassStatus before = class_status_[class_id];
+  // Every mutation below goes through the session arrays — detach once here
+  // (a rejected contradictory label costs an unnecessary copy, which is
+  // fine: rejections are rare and the state must stay unchanged anyway).
+  SessionArrays& session = MutableSession();
+  const ClassStatus before = session.class_status[class_id];
   // Relabeling an explicitly labeled class is rejected as contradictory or
   // accepted as a (wasted) repetition.
   if (before == ClassStatus::kLabeledPositive ||
@@ -212,18 +321,18 @@ util::Status InferenceEngine::LabelImpl(size_t class_id, size_t tuple_index,
     }
     ++wasted_interactions_;
     history_.push_back(LabeledExample{tuple_index, label});
-    explicit_label_[tuple_index] = label == Label::kPositive ? 1 : 2;
+    session.explicit_label[tuple_index] = label == Label::kPositive ? 1 : 2;
     return util::OkStatus();
   }
 
   const bool was_informative = before == ClassStatus::kInformative;
   RETURN_IF_ERROR(state_.ApplyLabel((*classes_)[class_id].partition, label));
 
-  class_status_[class_id] = label == Label::kPositive
-                                ? ClassStatus::kLabeledPositive
-                                : ClassStatus::kLabeledNegative;
+  session.class_status[class_id] = label == Label::kPositive
+                                       ? ClassStatus::kLabeledPositive
+                                       : ClassStatus::kLabeledNegative;
   history_.push_back(LabeledExample{tuple_index, label});
-  explicit_label_[tuple_index] = label == Label::kPositive ? 1 : 2;
+  session.explicit_label[tuple_index] = label == Label::kPositive ? 1 : 2;
   if (!was_informative) {
     // Consistent label on a grayed-out tuple: accepted, teaches nothing.
     ++wasted_interactions_;
@@ -244,10 +353,14 @@ util::Status InferenceEngine::LabelImpl(size_t class_id, size_t tuple_index,
 }
 
 TupleStatus InferenceEngine::tuple_status(size_t tuple_index) const {
-  JIM_CHECK_LT(tuple_index, relation_->num_rows());
-  if (explicit_label_[tuple_index] == 1) return TupleStatus::kLabeledPositive;
-  if (explicit_label_[tuple_index] == 2) return TupleStatus::kLabeledNegative;
-  switch (class_status_[(*class_of_tuple_)[tuple_index]]) {
+  JIM_CHECK_LT(tuple_index, store_->num_tuples());
+  if (session_->explicit_label[tuple_index] == 1) {
+    return TupleStatus::kLabeledPositive;
+  }
+  if (session_->explicit_label[tuple_index] == 2) {
+    return TupleStatus::kLabeledNegative;
+  }
+  switch (session_->class_status[(*class_of_tuple_)[tuple_index]]) {
     case ClassStatus::kInformative:
       return TupleStatus::kInformative;
     case ClassStatus::kForcedPositive:
@@ -262,7 +375,7 @@ TupleStatus InferenceEngine::tuple_status(size_t tuple_index) const {
 
 util::Status InferenceEngine::SubmitTupleLabel(size_t tuple_index,
                                                Label label) {
-  if (tuple_index >= relation_->num_rows()) {
+  if (tuple_index >= store_->num_tuples()) {
     return util::OutOfRangeError("tuple index out of range");
   }
   return LabelImpl((*class_of_tuple_)[tuple_index], tuple_index, label);
@@ -280,7 +393,7 @@ InferenceEngine::LabelImpact InferenceEngine::SimulateLabel(
   // The naive reference implementation (full state copy + rescan); the hot
   // paths use SimulateLabelBoth, and the parity tests pin the two together.
   JIM_CHECK_LT(class_id, classes_->size());
-  JIM_CHECK(class_status_[class_id] == ClassStatus::kInformative);
+  JIM_CHECK(session_->class_status[class_id] == ClassStatus::kInformative);
   InferenceState hypothetical = state_;
   // An informative class accepts either label by definition.
   JIM_CHECK_OK(hypothetical.ApplyLabel((*classes_)[class_id].partition, label));
@@ -289,7 +402,8 @@ InferenceEngine::LabelImpact InferenceEngine::SimulateLabel(
   impact.pruned_classes = 1;
   impact.pruned_tuples = (*classes_)[class_id].size();
   for (size_t c = 0; c < classes_->size(); ++c) {
-    if (c == class_id || class_status_[c] != ClassStatus::kInformative) {
+    if (c == class_id ||
+        session_->class_status[c] != ClassStatus::kInformative) {
       continue;
     }
     if (hypothetical.Classify((*classes_)[c].partition) !=
@@ -310,14 +424,14 @@ InferenceEngine::LabelImpactPair InferenceEngine::SimulateLabelBothWith(
     size_t class_id, lat::Partition& meet_tmp,
     lat::PartitionScratch& scratch) const {
   JIM_CHECK_LT(class_id, classes_->size());
-  JIM_CHECK(class_status_[class_id] == ClassStatus::kInformative);
+  JIM_CHECK(session_->class_status[class_id] == ClassStatus::kInformative);
   const lat::Partition& k_labeled = (*knowledge_)[class_id];
 
   LabelImpactPair impact;
   impact.positive.pruned_classes = impact.negative.pruned_classes = 1;
   impact.positive.pruned_tuples = impact.negative.pruned_tuples =
       (*classes_)[class_id].size();
-  for (size_t c : informative_) {
+  for (size_t c : session_->informative) {
     if (c == class_id) continue;
     const lat::Partition& k = (*knowledge_)[c];
     const size_t members = (*classes_)[c].size();
@@ -349,13 +463,13 @@ InferenceEngine::LabelImpactPair InferenceEngine::SimulateLabelBothWith(
 
 InferenceEngine::Stats InferenceEngine::GetStats() const {
   Stats stats;
-  stats.num_tuples = relation_->num_rows();
+  stats.num_tuples = store_->num_tuples();
   stats.num_classes = classes_->size();
   stats.interactions = history_.size();
   stats.wasted_interactions = wasted_interactions_;
   for (size_t c = 0; c < classes_->size(); ++c) {
     const size_t members = (*classes_)[c].size();
-    switch (class_status_[c]) {
+    switch (session_->class_status[c]) {
       case ClassStatus::kInformative:
         ++stats.informative_classes;
         stats.informative_tuples += members;

@@ -8,6 +8,8 @@
 #include "core/example.h"
 #include "core/inference_state.h"
 #include "core/join_predicate.h"
+#include "core/tuple_store.h"
+#include "exec/thread_pool.h"
 #include "lattice/partition.h"
 #include "relational/relation.h"
 #include "util/bitset.h"
@@ -70,40 +72,56 @@ inline bool IsPositive(ClassStatus status) {
 /// bookkeeping; each accepted label triggers propagation that reclassifies
 /// (and effectively grays out) tuples that became uninformative.
 ///
+/// The engine consumes the instance through the TupleStore seam: class
+/// construction (Part(t) for every tuple) runs on integer codes — a
+/// sort-free per-tuple grouping, ParallelFor'd over the exec pool with
+/// deterministic first-occurrence class ids — and never touches a Value.
+///
 /// The engine is strategy-agnostic: strategies (src/core/strategies.h) pick
 /// which informative class to ask about next; interaction modes 1-4 of the
 /// demonstration are built on top in src/core/session.h.
 class InferenceEngine {
  public:
-  /// Builds the engine over `relation` (shared, never mutated). Computes
-  /// Part(t) for every tuple and groups tuples into classes; O(N·n²) for N
-  /// tuples and n attributes.
+  /// Builds the engine over `store`. `pool` runs the per-tuple Part(t)
+  /// extraction (nullptr = serial); class ids are assigned in
+  /// first-occurrence tuple order by a serial merge, so the result is
+  /// bitwise-identical at any thread count.
+  InferenceEngine(std::shared_ptr<const TupleStore> store,
+                  exec::ThreadPool* pool);
+
+  /// Same, on the process-wide shared pool (exec::SharedPool).
+  explicit InferenceEngine(std::shared_ptr<const TupleStore> store);
+
+  /// Convenience: wraps `relation` into a RelationTupleStore (encoding every
+  /// cell through one shared dictionary) and builds over that.
   explicit InferenceEngine(std::shared_ptr<const rel::Relation> relation);
 
   /// Copies are cheap clones: the class table and tuple → class map are
-  /// shared outright (immutable), and the per-class knowledge cache is
-  /// copy-on-write — a clone defers that cost until its first positive
-  /// label. This is what lets BatchSessionRunner fan independent sessions
-  /// out over clones of one built engine. Clones may be labeled from
-  /// different threads concurrently (a mutating clone detaches before it
-  /// writes); only cloning an engine *while another thread mutates that same
-  /// engine* is a race, so clone before fanning out.
+  /// shared outright (immutable), and both the per-class knowledge cache and
+  /// the session arrays (statuses, worklist, explicit labels) are
+  /// copy-on-write — a clone defers those costs until its first label. This
+  /// is what lets BatchSessionRunner fan independent sessions out over
+  /// clones of one built engine. Clones may be labeled from different
+  /// threads concurrently (a mutating clone detaches before it writes); only
+  /// cloning an engine *while another thread mutates that same engine* is a
+  /// race, so clone before fanning out.
   InferenceEngine(const InferenceEngine&) = default;
   InferenceEngine& operator=(const InferenceEngine&) = default;
 
-  const rel::Relation& relation() const { return *relation_; }
-  const std::shared_ptr<const rel::Relation>& relation_ptr() const {
-    return relation_;
+  /// The instance, through the storage seam.
+  const TupleStore& store() const { return *store_; }
+  const std::shared_ptr<const TupleStore>& store_ptr() const {
+    return store_;
   }
   const InferenceState& state() const { return state_; }
 
-  size_t num_tuples() const { return relation_->num_rows(); }
+  size_t num_tuples() const { return store_->num_tuples(); }
   size_t num_classes() const { return classes_->size(); }
   const TupleClass& tuple_class(size_t class_id) const {
     return (*classes_)[class_id];
   }
   ClassStatus class_status(size_t class_id) const {
-    return class_status_[class_id];
+    return session_->class_status[class_id];
   }
   size_t class_of_tuple(size_t tuple_index) const {
     return (*class_of_tuple_)[tuple_index];
@@ -115,10 +133,11 @@ class InferenceEngine {
 
   /// Ids of classes that are still worth asking about, ascending. Returns a
   /// reference to the engine's live worklist: any Submit*Label call compacts
-  /// it, invalidating the reference (and any iterators) — copy first if you
-  /// need the list across a labeling.
+  /// it (and, on a clone, detaches the copy-on-write session arrays),
+  /// invalidating the reference — copy first if you need the list across a
+  /// labeling.
   const std::vector<size_t>& InformativeClasses() const {
-    return informative_;
+    return session_->informative;
   }
 
   /// Cached knowledge partition K_c = θ_P ∧ Part(c) of an *informative*
@@ -213,7 +232,20 @@ class InferenceEngine {
   const LabeledExamples& history() const { return history_; }
 
  private:
-  void BuildClasses();
+  /// The flat per-class/per-tuple session arrays, grouped under one
+  /// copy-on-write holder so a clone shares them until its first Submit
+  /// (EngineCopy is then three shared_ptr bumps, not three vector copies).
+  struct SessionArrays {
+    std::vector<ClassStatus> class_status;
+    /// Ids of informative classes, ascending — the dense worklist the
+    /// Propagate variants scan and compact.
+    std::vector<size_t> informative;
+    /// 0 = not explicitly labeled; 1 = labeled positive; 2 = labeled
+    /// negative (per tuple).
+    std::vector<uint8_t> explicit_label;
+  };
+
+  void BuildClasses(exec::ThreadPool* pool);
   /// Shared implementation of the two Submit entry points; `tuple_index` is
   /// the tuple recorded in the history (the one actually shown to the user).
   util::Status LabelImpl(size_t class_id, size_t tuple_index, Label label);
@@ -221,7 +253,9 @@ class InferenceEngine {
   /// Reclassification after a state change, over the dense worklist of
   /// still-informative classes only (uninformativeness is monotone, so
   /// settled classes are never revisited). Each variant compacts the
-  /// worklist in place and returns the number of classes that left the pool.
+  /// worklist in place and returns the number of classes that left the
+  /// pool. Callers must hold the session arrays uniquely (constructor, or
+  /// LabelImpl after MutableSession).
   ///
   /// Full variant (construction): classifies each worklist class from its
   /// cached knowledge.
@@ -241,17 +275,18 @@ class InferenceEngine {
   /// Detaches knowledge_ from any sharers (copy-on-first-mutate) and returns
   /// the sole-owner vector. Everything that writes K_c goes through here.
   std::vector<lat::Partition>& MutableKnowledge();
+  /// Same for the session arrays; every Submit path detaches once up front.
+  SessionArrays& MutableSession();
 
-  std::shared_ptr<const rel::Relation> relation_;
+  std::shared_ptr<const TupleStore> store_;
   InferenceState state_;
   /// The class table and the tuple → class map are immutable once
   /// BuildClasses returns, so every clone of an engine shares them outright.
   std::shared_ptr<const std::vector<TupleClass>> classes_;
   std::shared_ptr<const std::vector<size_t>> class_of_tuple_;
-  std::vector<ClassStatus> class_status_;
-  /// Ids of informative classes, ascending — the dense worklist Propagate
-  /// variants scan and compact.
-  std::vector<size_t> informative_;
+  /// Per-session flat arrays, copy-on-write across clones (see
+  /// SessionArrays).
+  std::shared_ptr<SessionArrays> session_;
   /// K_c per class; fresh for informative classes (see ClassKnowledge).
   /// Copy-on-write: clones share the vector until their first knowledge
   /// mutation (a positive label), which makes engine copies cheap enough to
@@ -264,8 +299,6 @@ class InferenceEngine {
   mutable lat::PartitionScratch scratch_;
   mutable lat::Partition meet_tmp_;
   LabeledExamples history_;
-  /// 0 = not explicitly labeled; 1 = labeled positive; 2 = labeled negative.
-  std::vector<uint8_t> explicit_label_;
   size_t wasted_interactions_ = 0;
 };
 

@@ -6,7 +6,9 @@
 /// Typical use (see examples/quickstart.cpp):
 ///
 ///   auto relation = std::make_shared<rel::Relation>(...);   // the instance
-///   core::InferenceEngine engine(relation);                 // build classes
+///   // Encode once, build classes on integer codes (a factorized
+///   // query::UniversalTable store plugs in the same way).
+///   core::InferenceEngine engine(core::MakeRelationStore(relation));
 ///   auto strategy = core::MakeStrategy("lookahead-entropy").value();
 ///   while (!engine.IsDone()) {
 ///     size_t cls = strategy->PickClass(engine);
@@ -24,5 +26,6 @@
 #include "core/selection_inference.h"  // IWYU pragma: export
 #include "core/session.h"        // IWYU pragma: export
 #include "core/strategies.h"     // IWYU pragma: export
+#include "core/tuple_store.h"    // IWYU pragma: export
 
 #endif  // JIM_CORE_JIM_H_

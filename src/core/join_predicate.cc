@@ -89,12 +89,44 @@ bool JoinPredicate::Selects(const rel::Tuple& tuple) const {
   return true;
 }
 
+namespace {
+
+/// Code-level generator-pair check shared by SelectsCodes and the
+/// SelectedRows(TupleStore) scan (which hoists the pair extraction out of
+/// its per-tuple loop).
+bool SelectsCodesWithPairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs,
+    const uint32_t* codes) {
+  for (const auto& [i, j] : pairs) {
+    if (codes[i] == rel::kNullCode || codes[i] != codes[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool JoinPredicate::SelectsCodes(const uint32_t* codes) const {
+  return SelectsCodesWithPairs(partition_.GeneratorPairs(), codes);
+}
+
 util::DynamicBitset JoinPredicate::SelectedRows(
     const rel::Relation& relation) const {
   JIM_CHECK_EQ(relation.num_attributes(), partition_.num_elements());
   util::DynamicBitset selected(relation.num_rows());
   for (size_t r = 0; r < relation.num_rows(); ++r) {
     if (Selects(relation.row(r))) selected.Set(r);
+  }
+  return selected;
+}
+
+util::DynamicBitset JoinPredicate::SelectedRows(const TupleStore& store) const {
+  JIM_CHECK_EQ(store.num_attributes(), partition_.num_elements());
+  const auto pairs = partition_.GeneratorPairs();
+  std::vector<uint32_t> codes(store.num_attributes());
+  util::DynamicBitset selected(store.num_tuples());
+  for (size_t t = 0; t < store.num_tuples(); ++t) {
+    store.TupleCodes(t, codes.data());
+    if (SelectsCodesWithPairs(pairs, codes.data())) selected.Set(t);
   }
   return selected;
 }
@@ -154,6 +186,11 @@ lat::Partition TuplePartition(const rel::Tuple& tuple) {
 bool InstanceEquivalent(const rel::Relation& relation, const JoinPredicate& p1,
                         const JoinPredicate& p2) {
   return p1.SelectedRows(relation) == p2.SelectedRows(relation);
+}
+
+bool InstanceEquivalent(const TupleStore& store, const JoinPredicate& p1,
+                        const JoinPredicate& p2) {
+  return p1.SelectedRows(store) == p2.SelectedRows(store);
 }
 
 }  // namespace jim::core

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/tuple_store.h"
 #include "lattice/partition.h"
 #include "relational/relation.h"
 #include "relational/schema.h"
@@ -49,9 +50,18 @@ class JoinPredicate {
   /// NULLs never satisfy an equality).
   bool Selects(const rel::Tuple& tuple) const;
 
+  /// Code-level Selects: `codes` are num_attributes() shared-dictionary
+  /// codes of one tuple (see TupleStore). Identical to Selects on the
+  /// decoded tuple — code equality is strict value equality and
+  /// rel::kNullCode never matches — without materializing a Value.
+  bool SelectsCodes(const uint32_t* codes) const;
+
   /// Bitset over `relation`'s rows: bit i set iff row i is selected.
   /// Requires the relation arity to match.
   util::DynamicBitset SelectedRows(const rel::Relation& relation) const;
+
+  /// Same over a TupleStore, evaluated on integer codes (no decoding).
+  util::DynamicBitset SelectedRows(const TupleStore& store) const;
 
   /// Containment: every tuple selected by *this is selected by `other`
   /// (on every possible instance). Holds iff other.partition ≤ this.partition.
@@ -83,6 +93,10 @@ lat::Partition TuplePartition(const rel::Tuple& tuple);
 /// ("instance-equivalence" in the paper; the inference goal is identification
 /// up to this relation).
 bool InstanceEquivalent(const rel::Relation& relation, const JoinPredicate& p1,
+                        const JoinPredicate& p2);
+
+/// Same over a TupleStore (code-level evaluation, no decoding).
+bool InstanceEquivalent(const TupleStore& store, const JoinPredicate& p1,
                         const JoinPredicate& p2);
 
 }  // namespace jim::core

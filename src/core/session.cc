@@ -84,18 +84,25 @@ std::optional<size_t> ChooseClass(const InferenceEngine& engine,
 
 }  // namespace
 
+SessionResult RunSession(std::shared_ptr<const TupleStore> store,
+                         const JoinPredicate& goal, Strategy& strategy,
+                         Oracle& oracle, const SessionOptions& options) {
+  InferenceEngine engine(std::move(store));
+  return RunSessionOnEngine(engine, goal, strategy, oracle, options);
+}
+
 SessionResult RunSession(std::shared_ptr<const rel::Relation> relation,
                          const JoinPredicate& goal, Strategy& strategy,
                          Oracle& oracle, const SessionOptions& options) {
-  InferenceEngine engine(std::move(relation));
-  return RunSessionOnEngine(engine, goal, strategy, oracle, options);
+  return RunSession(MakeRelationStore(std::move(relation)), goal, strategy,
+                    oracle, options);
 }
 
 SessionResult RunSessionOnEngine(InferenceEngine& engine,
                                  const JoinPredicate& goal, Strategy& strategy,
                                  Oracle& oracle,
                                  const SessionOptions& options) {
-  const rel::Relation& relation = engine.relation();
+  const TupleStore& store = engine.store();
   util::Rng user_rng(options.user_seed);
   std::vector<bool> tuple_labeled(engine.num_tuples(), false);
 
@@ -118,7 +125,9 @@ SessionResult RunSessionOnEngine(InferenceEngine& engine,
     const size_t tuple_index = engine.tuple_class(class_id).tuple_indices[0];
 
     const auto stats_before = engine.GetStats();
-    const Label label = oracle.LabelFor(relation.row(tuple_index));
+    // Decode-on-demand: the only Value materialization in a session is the
+    // tuple actually shown to the (simulated) user.
+    const Label label = oracle.LabelFor(store.DecodeTuple(tuple_index));
 
     SessionStep step;
     step.class_id = class_id;
@@ -146,17 +155,22 @@ SessionResult RunSessionOnEngine(InferenceEngine& engine,
   result.interactions = result.steps.size();
   result.total_seconds = session_clock.ElapsedSeconds();
   result.result = engine.Result();
-  result.identified_goal = InstanceEquivalent(relation, *result.result, goal);
+  result.identified_goal = InstanceEquivalent(store, *result.result, goal);
   result.final_stats = engine.GetStats();
   result.wasted_interactions += result.final_stats.wasted_interactions;
   return result;
 }
 
-SessionResult RunSession(std::shared_ptr<const rel::Relation> relation,
+SessionResult RunSession(std::shared_ptr<const TupleStore> store,
                          const JoinPredicate& goal, Strategy& strategy) {
   ExactOracle oracle(goal);
-  return RunSession(std::move(relation), goal, strategy, oracle,
+  return RunSession(std::move(store), goal, strategy, oracle,
                     SessionOptions{});
+}
+
+SessionResult RunSession(std::shared_ptr<const rel::Relation> relation,
+                         const JoinPredicate& goal, Strategy& strategy) {
+  return RunSession(MakeRelationStore(std::move(relation)), goal, strategy);
 }
 
 std::string SessionResultToJson(const SessionResult& result) {

@@ -85,6 +85,13 @@ struct SessionOptions {
 /// mode) decides what gets asked. Terminates when the engine identifies the
 /// goal up to instance-equivalence. `goal` is used only to check
 /// `identified_goal` (the oracle may embed noise or a different predicate).
+/// The instance comes in through the TupleStore seam; tuples are decoded
+/// only when shown to the oracle.
+SessionResult RunSession(std::shared_ptr<const TupleStore> store,
+                         const JoinPredicate& goal, Strategy& strategy,
+                         Oracle& oracle, const SessionOptions& options = {});
+
+/// Convenience: wraps `relation` into a RelationTupleStore first.
 SessionResult RunSession(std::shared_ptr<const rel::Relation> relation,
                          const JoinPredicate& goal, Strategy& strategy,
                          Oracle& oracle, const SessionOptions& options = {});
@@ -101,6 +108,8 @@ SessionResult RunSessionOnEngine(InferenceEngine& engine,
                                  const SessionOptions& options = {});
 
 /// Convenience: exact oracle for `goal`, default options with mode 4.
+SessionResult RunSession(std::shared_ptr<const TupleStore> store,
+                         const JoinPredicate& goal, Strategy& strategy);
 SessionResult RunSession(std::shared_ptr<const rel::Relation> relation,
                          const JoinPredicate& goal, Strategy& strategy);
 

@@ -1,0 +1,49 @@
+#include "core/tuple_store.h"
+
+#include "util/logging.h"
+
+namespace jim::core {
+
+void TupleStore::TupleCodes(size_t t, uint32_t* out) const {
+  const size_t n = num_attributes();
+  for (size_t a = 0; a < n; ++a) out[a] = code(t, a);
+}
+
+rel::Tuple TupleStore::DecodeTuple(size_t t) const {
+  const size_t n = num_attributes();
+  rel::Tuple tuple;
+  tuple.reserve(n);
+  for (size_t a = 0; a < n; ++a) tuple.push_back(DecodeValue(t, a));
+  return tuple;
+}
+
+RelationTupleStore::RelationTupleStore(
+    std::shared_ptr<const rel::Relation> relation)
+    : relation_(std::move(relation)) {
+  JIM_CHECK(relation_ != nullptr);
+  stride_ = relation_->num_attributes();
+  codes_.reserve(relation_->num_rows() * stride_);
+  for (size_t t = 0; t < relation_->num_rows(); ++t) {
+    const rel::Tuple& row = relation_->row(t);
+    for (size_t a = 0; a < stride_; ++a) {
+      codes_.push_back(row[a].is_null() ? rel::kNullCode
+                                        : dictionary_.GetOrAdd(row[a]));
+    }
+  }
+}
+
+void RelationTupleStore::TupleCodes(size_t t, uint32_t* out) const {
+  const uint32_t* row = codes_.data() + t * stride_;
+  for (size_t a = 0; a < stride_; ++a) out[a] = row[a];
+}
+
+size_t RelationTupleStore::ApproxBytes() const {
+  return codes_.capacity() * sizeof(uint32_t) + dictionary_.ApproxBytes();
+}
+
+std::shared_ptr<const TupleStore> MakeRelationStore(
+    std::shared_ptr<const rel::Relation> relation) {
+  return std::make_shared<const RelationTupleStore>(std::move(relation));
+}
+
+}  // namespace jim::core

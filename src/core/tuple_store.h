@@ -1,0 +1,107 @@
+#ifndef JIM_CORE_TUPLE_STORE_H_
+#define JIM_CORE_TUPLE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/dictionary.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace jim::core {
+
+/// The narrow seam between storage and inference: everything the engine
+/// needs from an instance of candidate tuples, and nothing more.
+///
+/// Tuples are exposed as *codes*, not values: `code(t, a)` returns a dense
+/// integer such that, within one store,
+///
+///   code(t, a) == code(t', a')  ⇔  the two cells hold strictly equal Values
+///                                  (rel::Value::Equals),
+///   code(t, a) == rel::kNullCode ⇔ the cell is NULL (never equal to
+///                                  anything, itself included).
+///
+/// Codes are comparable ACROSS attributes — the property Part(t) extraction
+/// needs — because every implementation funnels its per-column dictionaries
+/// through one shared dictionary. The engine's class construction is thereby
+/// a pure integer kernel; `Values` only materialize on demand (question
+/// prompts, oracles, rendering) via DecodeValue/DecodeTuple.
+///
+/// Implementations: RelationTupleStore (a materialized denormalized
+/// relation, encoded once at wrap time) and the factorized store behind
+/// query::UniversalTable (mixed-radix row ids over the source relations'
+/// encoded columns — no materialized rows at all). Future backends
+/// (mmap'd columnar files, sharded stores) plug in here.
+class TupleStore {
+ public:
+  virtual ~TupleStore() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const rel::Schema& schema() const = 0;
+  virtual size_t num_tuples() const = 0;
+  size_t num_attributes() const { return schema().num_attributes(); }
+
+  /// Shared-dictionary code of attribute `a` of tuple `t` (see class
+  /// comment; rel::kNullCode for NULL).
+  virtual uint32_t code(size_t t, size_t a) const = 0;
+
+  /// Bulk variant: writes all num_attributes() codes of tuple `t` into
+  /// `out`. One virtual call per tuple on the ingest hot loop; overridden by
+  /// implementations that can amortize the per-tuple address computation.
+  virtual void TupleCodes(size_t t, uint32_t* out) const;
+
+  /// The cell's Value (decoded on demand — display, oracles, provenance).
+  virtual rel::Value DecodeValue(size_t t, size_t a) const = 0;
+
+  /// The full tuple, decoded.
+  rel::Tuple DecodeTuple(size_t t) const;
+
+  /// Approximate resident bytes of the store's own structures (codes,
+  /// dictionaries, row ids) — the number the scalability bench tracks to
+  /// show factorized memory does not scale with the candidate count.
+  virtual size_t ApproxBytes() const = 0;
+};
+
+/// TupleStore over a materialized denormalized relation: the degenerate
+/// single-source case (synthetic workloads, CSV loads, Figure 1). All
+/// columns are encoded through one shared dictionary at construction, so
+/// cross-attribute code equality holds by construction.
+class RelationTupleStore final : public TupleStore {
+ public:
+  explicit RelationTupleStore(std::shared_ptr<const rel::Relation> relation);
+
+  const std::string& name() const override { return relation_->name(); }
+  const rel::Schema& schema() const override { return relation_->schema(); }
+  size_t num_tuples() const override { return relation_->num_rows(); }
+  uint32_t code(size_t t, size_t a) const override {
+    return codes_[t * stride_ + a];
+  }
+  void TupleCodes(size_t t, uint32_t* out) const override;
+  rel::Value DecodeValue(size_t t, size_t a) const override {
+    return relation_->row(t)[a];
+  }
+  size_t ApproxBytes() const override;
+
+  const std::shared_ptr<const rel::Relation>& relation() const {
+    return relation_;
+  }
+  /// Distinct non-NULL values across all columns (bench/diagnostics).
+  size_t num_distinct_values() const { return dictionary_.size(); }
+
+ private:
+  std::shared_ptr<const rel::Relation> relation_;
+  rel::Dictionary dictionary_;
+  /// Row-major N × n code matrix (kNullCode for NULLs).
+  std::vector<uint32_t> codes_;
+  size_t stride_ = 0;
+};
+
+/// Wraps `relation` into a RelationTupleStore.
+std::shared_ptr<const TupleStore> MakeRelationStore(
+    std::shared_ptr<const rel::Relation> relation);
+
+}  // namespace jim::core
+
+#endif  // JIM_CORE_TUPLE_STORE_H_

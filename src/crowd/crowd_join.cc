@@ -47,27 +47,34 @@ double MajorityErrorRate(size_t workers, double error_rate) {
   return total;
 }
 
-CrowdRunResult RunCrowdJim(std::shared_ptr<const rel::Relation> relation,
+CrowdRunResult RunCrowdJim(std::shared_ptr<const core::TupleStore> store,
                            const core::JoinPredicate& goal,
                            core::Strategy& strategy,
                            const CrowdOptions& options) {
   JIM_CHECK(options.workers_per_question % 2 == 1)
       << "majority voting needs an odd worker count";
-  core::InferenceEngine engine(relation);
+  core::InferenceEngine engine(store);
   util::Rng rng(options.seed);
   CrowdRunResult result;
 
   while (!engine.IsDone()) {
     const size_t class_id = strategy.PickClass(engine);
     const size_t tuple_index = engine.tuple_class(class_id).tuple_indices[0];
-    const core::Label answer =
-        AskCrowd(relation->row(tuple_index), goal, options, rng, &result);
+    const core::Label answer = AskCrowd(store->DecodeTuple(tuple_index), goal,
+                                        options, rng, &result);
     // An informative class accepts either answer, so this cannot fail.
     JIM_CHECK_OK(engine.SubmitClassLabel(class_id, answer));
   }
-  result.correct =
-      core::InstanceEquivalent(*relation, engine.Result(), goal);
+  result.correct = core::InstanceEquivalent(*store, engine.Result(), goal);
   return result;
+}
+
+CrowdRunResult RunCrowdJim(std::shared_ptr<const rel::Relation> relation,
+                           const core::JoinPredicate& goal,
+                           core::Strategy& strategy,
+                           const CrowdOptions& options) {
+  return RunCrowdJim(core::MakeRelationStore(std::move(relation)), goal,
+                     strategy, options);
 }
 
 CrowdRunResult RunLabelEverything(

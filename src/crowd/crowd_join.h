@@ -5,6 +5,7 @@
 
 #include "core/join_predicate.h"
 #include "core/strategies.h"
+#include "core/tuple_store.h"
 #include "relational/relation.h"
 #include "util/status.h"
 
@@ -47,6 +48,10 @@ double MajorityErrorRate(size_t workers, double error_rate);
 /// each is answered by majority vote over `workers_per_question` noisy
 /// workers. Questions JIM prunes are never paid for — this is the paper's
 /// cost argument.
+CrowdRunResult RunCrowdJim(std::shared_ptr<const core::TupleStore> store,
+                           const core::JoinPredicate& goal,
+                           core::Strategy& strategy,
+                           const CrowdOptions& options);
 CrowdRunResult RunCrowdJim(std::shared_ptr<const rel::Relation> relation,
                            const core::JoinPredicate& goal,
                            core::Strategy& strategy,

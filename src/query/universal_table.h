@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/join_predicate.h"
+#include "core/tuple_store.h"
 #include "query/join_query.h"
 #include "relational/catalog.h"
 #include "relational/relation.h"
@@ -16,14 +17,15 @@ namespace jim::query {
 
 /// Options for building a universal table.
 struct UniversalTableOptions {
-  /// Cap on the materialized candidate-tuple count. When the full cross
-  /// product of the involved relations exceeds this, a uniform sample is
-  /// drawn instead (the inference is then exact w.r.t. the sample — see
+  /// Cap on the candidate-tuple count. When the full cross product of the
+  /// involved relations exceeds this, a uniform sample of row-id draws is
+  /// taken instead (the inference is then exact w.r.t. the sample — see
   /// DESIGN.md). 0 means no cap.
   size_t sample_cap = 100'000;
   /// Seed for the sampling RNG.
   uint64_t seed = 99;
-  /// Deduplicate identical candidate tuples after the product.
+  /// Deduplicate identical candidate tuples after the product
+  /// (representation-level equality, see rel::TupleRepresentationKey).
   bool deduplicate = true;
 };
 
@@ -32,6 +34,17 @@ struct UniversalTableOptions {
 /// cross product of the involved relations, with per-attribute provenance so
 /// an inferred predicate can be translated back into a multi-relation
 /// JoinQuery / GAV mapping.
+///
+/// The table is *factorized*: candidate tuples are never materialized as
+/// Value rows. Within the cap, a candidate tuple is just a mixed-radix row
+/// id over the source relations' dictionary-encoded columns (peak memory
+/// O(Σ|Rᵢ|·nᵢ) — independent of the candidate-tuple count); above the cap,
+/// the sample is a matrix of row-id draws (O(N·k) ints for k relations).
+/// Either way the engine consumes it through the core::TupleStore seam as
+/// integer codes, and Values are decoded on demand for display/provenance.
+/// Candidate-tuple order, sampling draws, and dedup semantics are exactly
+/// those of the historical materializing builder (the parity suite pins
+/// this), so session transcripts are byte-identical to the legacy path.
 ///
 /// This implements the paper's "handles a varying number of involved
 /// relations": any subset of the catalog can participate, including the same
@@ -54,12 +67,15 @@ class UniversalTable {
       const std::vector<std::string>& relation_names,
       const UniversalTableOptions& options = {});
 
-  /// The denormalized candidate-tuple instance.
-  const std::shared_ptr<const rel::Relation>& relation() const {
-    return relation_;
+  /// The candidate-tuple instance as the engine consumes it.
+  const std::shared_ptr<const core::TupleStore>& store() const {
+    return store_;
   }
 
-  /// Provenance of attribute `i` of relation()->schema().
+  const rel::Schema& schema() const { return store_->schema(); }
+  size_t num_tuples() const { return store_->num_tuples(); }
+
+  /// Provenance of attribute `i` of schema().
   const Provenance& provenance(size_t i) const { return provenance_[i]; }
   size_t num_attributes() const { return provenance_.size(); }
 
@@ -68,6 +84,12 @@ class UniversalTable {
   bool is_sampled() const { return is_sampled_; }
   /// Size of the un-sampled cross product.
   size_t full_product_size() const { return full_product_size_; }
+
+  /// Decodes every candidate tuple into a materialized Relation — the O(N·n)
+  /// representation the factorized store exists to avoid. For tests,
+  /// display, and export only; identical (rows, order, schema) to what the
+  /// historical materializing builder produced.
+  rel::Relation Materialize() const;
 
   /// Translates a predicate inferred over this table back into a
   /// multi-relation join query: each equality between attributes of
@@ -78,7 +100,7 @@ class UniversalTable {
  private:
   UniversalTable() = default;
 
-  std::shared_ptr<const rel::Relation> relation_;
+  std::shared_ptr<const core::TupleStore> store_;
   std::vector<Provenance> provenance_;
   std::vector<std::string> relation_names_;
   bool is_sampled_ = false;

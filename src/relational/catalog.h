@@ -2,9 +2,12 @@
 #define JIM_RELATIONAL_CATALOG_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "relational/dictionary.h"
 #include "relational/relation.h"
 #include "util/status.h"
 
@@ -14,17 +17,44 @@ namespace jim::rel {
 /// the demo's "varying number of involved relations": the universal-table
 /// builder (src/query) pulls any subset of catalog relations into one
 /// denormalized instance.
+///
+/// Relations are immutable once registered and held behind shared_ptr, so
+/// consumers (universal tables, tuple stores) can keep a relation alive past
+/// the catalog's lifetime without copying its rows. Each relation's
+/// dictionary-encoded mirror is built lazily, once, on first GetEncoded —
+/// this is the "encode at catalog time" half of the columnar ingest path.
 class Catalog {
  public:
   Catalog() = default;
+  /// Copies share the (immutable) relations and whatever encodings the
+  /// source had cached so far; the cache mutex itself is per-instance.
+  Catalog(const Catalog& other);
+  Catalog& operator=(const Catalog& other);
 
   /// Registers `relation` under its name. Errors on duplicates.
   util::Status Add(Relation relation);
 
-  /// Replaces or inserts.
+  /// Replaces or inserts (invalidating any cached encoding of the name).
+  /// Relations are immutable once registered, so replacing installs a *new*
+  /// object: raw pointers from Get() for the replaced name dangle (take
+  /// GetShared when the handle must outlive catalog mutations).
   void AddOrReplace(Relation relation);
 
+  /// Borrowed pointer, valid until the name is Dropped or replaced.
   util::StatusOr<const Relation*> Get(const std::string& name) const;
+
+  /// Shared handle to the relation (no row copy; safe to outlive *this).
+  util::StatusOr<std::shared_ptr<const Relation>> GetShared(
+      const std::string& name) const;
+
+  /// The relation's columnar dictionary-encoded mirror, built on first use
+  /// and cached (shared by every universal table it participates in). The
+  /// cache fill is mutex-guarded, so any number of threads may build
+  /// universal tables over one catalog concurrently — only catalog
+  /// *mutations* (Add/Drop/AddOrReplace) require external synchronization,
+  /// like any container.
+  util::StatusOr<std::shared_ptr<const EncodedRelation>> GetEncoded(
+      const std::string& name) const;
 
   bool Contains(const std::string& name) const {
     return relations_.count(name) > 0;
@@ -38,7 +68,13 @@ class Catalog {
   size_t size() const { return relations_.size(); }
 
  private:
-  std::map<std::string, Relation> relations_;
+  std::map<std::string, std::shared_ptr<const Relation>> relations_;
+  /// Lazily built encodings; mutable because encoding is a cache fill, not
+  /// an observable mutation. Guarded by encoded_mutex_ (GetEncoded may be
+  /// called from concurrent universal-table builds).
+  mutable std::mutex encoded_mutex_;
+  mutable std::map<std::string, std::shared_ptr<const EncodedRelation>>
+      encoded_;
 };
 
 }  // namespace jim::rel

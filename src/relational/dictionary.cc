@@ -1,0 +1,77 @@
+#include "relational/dictionary.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace jim::rel {
+
+uint32_t Dictionary::GetOrAdd(const Value& value) {
+  JIM_CHECK(!value.is_null()) << "NULL has no dictionary code (see kNullCode)";
+  // NaN caveat: a NaN never compares equal to anything (Value::Equals is
+  // IEEE ==), so every NaN occurrence mints a fresh code — exactly the
+  // semantics the partition kernels need (NaN ≠ NaN, like NULL ≠ NULL). Mint
+  // it directly: NaNs all hash alike but never compare equal, so letting
+  // them into the map would grow one bucket's collision chain per
+  // occurrence (quadratic encoding on NaN-heavy columns), and Find could
+  // never return them anyway.
+  const bool is_nan = value.type() == ValueType::kDouble &&
+                      std::isnan(value.AsDouble());
+  if (!is_nan) {
+    auto [it, inserted] =
+        code_of_.emplace(value, static_cast<uint32_t>(values_.size()));
+    if (!inserted) return it->second;
+  }
+  JIM_CHECK_LT(values_.size(), size_t{kNullCode})
+      << "dictionary overflow: too many distinct values for uint32 codes";
+  values_.push_back(value);
+  return static_cast<uint32_t>(values_.size() - 1);
+}
+
+std::optional<uint32_t> Dictionary::Find(const Value& value) const {
+  if (value.is_null()) return std::nullopt;
+  auto it = code_of_.find(value);
+  if (it == code_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Dictionary::ApproxBytes() const {
+  size_t bytes = values_.capacity() * sizeof(Value) +
+                 code_of_.size() * (sizeof(Value) + sizeof(uint32_t) +
+                                    2 * sizeof(void*));
+  for (const Value& value : values_) {
+    if (value.type() == ValueType::kString) bytes += value.AsString().size();
+  }
+  return bytes;
+}
+
+EncodedColumn EncodeColumn(const Relation& relation, size_t column) {
+  JIM_CHECK_LT(column, relation.num_attributes());
+  EncodedColumn encoded;
+  encoded.codes.reserve(relation.num_rows());
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    const Value& value = relation.row(r)[column];
+    encoded.codes.push_back(value.is_null()
+                                ? kNullCode
+                                : encoded.dictionary.GetOrAdd(value));
+  }
+  return encoded;
+}
+
+EncodedRelation EncodedRelation::FromRelation(const Relation& relation) {
+  EncodedRelation encoded;
+  encoded.num_rows_ = relation.num_rows();
+  encoded.columns_.reserve(relation.num_attributes());
+  for (size_t c = 0; c < relation.num_attributes(); ++c) {
+    encoded.columns_.push_back(EncodeColumn(relation, c));
+  }
+  return encoded;
+}
+
+size_t EncodedRelation::ApproxBytes() const {
+  size_t bytes = sizeof(EncodedRelation);
+  for (const EncodedColumn& column : columns_) bytes += column.ApproxBytes();
+  return bytes;
+}
+
+}  // namespace jim::rel

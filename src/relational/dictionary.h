@@ -1,0 +1,94 @@
+#ifndef JIM_RELATIONAL_DICTIONARY_H_
+#define JIM_RELATIONAL_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/value.h"
+
+namespace jim::rel {
+
+/// Sentinel code marking NULL in an encoded column. NULL deliberately has no
+/// dictionary entry: NULL ≠ NULL under SQL join semantics, so a shared code
+/// would wrongly make two NULLs compare equal. Kernels that consume codes
+/// must special-case this value (the partition kernels give each NULL its
+/// own singleton block).
+inline constexpr uint32_t kNullCode = 0xFFFFFFFFu;
+
+/// A per-column value dictionary: distinct non-NULL `Value`s mapped to dense
+/// `uint32_t` codes in order of first appearance. Code equality is exactly
+/// strict `Value::Equals` equality (type-sensitive), so once two columns'
+/// codes are translated into one shared dictionary, tuple-level equality
+/// tests become integer compares — the basis of the columnar ingest path.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Code of `value`, inserting it if unseen. Requires a non-NULL value.
+  /// Insertion order is deterministic: codes are dense and first-come.
+  uint32_t GetOrAdd(const Value& value);
+
+  /// Code of `value` if present (NULL never is).
+  std::optional<uint32_t> Find(const Value& value) const;
+
+  /// The value behind `code`. Requires code < size().
+  const Value& value(uint32_t code) const { return values_[code]; }
+
+  size_t size() const { return values_.size(); }
+
+  /// Rough heap footprint (for the bench memory accounting).
+  size_t ApproxBytes() const;
+
+ private:
+  std::unordered_map<Value, uint32_t, ValueHash> code_of_;
+  std::vector<Value> values_;
+};
+
+/// One dictionary-encoded column: a code per row (kNullCode for NULL) plus
+/// the dictionary that decodes them.
+struct EncodedColumn {
+  Dictionary dictionary;
+  std::vector<uint32_t> codes;
+
+  size_t num_rows() const { return codes.size(); }
+  size_t num_distinct() const { return dictionary.size(); }
+  /// The row's value; Value::Null() for the sentinel.
+  Value Decode(size_t row) const {
+    const uint32_t code = codes[row];
+    return code == kNullCode ? Value::Null() : dictionary.value(code);
+  }
+  size_t ApproxBytes() const {
+    return codes.capacity() * sizeof(uint32_t) + dictionary.ApproxBytes();
+  }
+};
+
+/// Encodes one column of `relation`.
+EncodedColumn EncodeColumn(const Relation& relation, size_t column);
+
+/// The columnar, dictionary-encoded mirror of a Relation — built once at
+/// relation load / catalog registration time (see Catalog::GetEncoded) and
+/// shared by every universal table the relation participates in. Codes are
+/// column-local; cross-column comparisons go through a translation into a
+/// shared dictionary (see query::UniversalTable).
+class EncodedRelation {
+ public:
+  static EncodedRelation FromRelation(const Relation& relation);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const EncodedColumn& column(size_t c) const { return columns_[c]; }
+  uint32_t code(size_t row, size_t c) const { return columns_[c].codes[row]; }
+
+  size_t ApproxBytes() const;
+
+ private:
+  std::vector<EncodedColumn> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace jim::rel
+
+#endif  // JIM_RELATIONAL_DICTIONARY_H_

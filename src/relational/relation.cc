@@ -60,6 +60,23 @@ void Relation::SortRows() {
   });
 }
 
+std::string TupleRepresentationKey(const Tuple& tuple) {
+  std::string key;
+  for (const Value& value : tuple) {
+    // Each field is length-prefixed so the key is unambiguous even when a
+    // string payload contains the separator characters: concatenating the
+    // keys of two tuples equals the key of the concatenated tuple, which is
+    // what lets the factorized universal table dedup per source and still
+    // match a whole-tuple dedup byte for byte.
+    const std::string payload = value.ToString();
+    key += static_cast<char>('0' + static_cast<int>(value.type()));
+    key += std::to_string(payload.size());
+    key.push_back(':');
+    key += payload;
+  }
+  return key;
+}
+
 void Relation::DeduplicateRows() {
   // Representation-level equality: render values (NULL == NULL here) so that
   // dedup treats two all-NULL rows as duplicates.
@@ -67,13 +84,7 @@ void Relation::DeduplicateRows() {
   std::vector<Tuple> kept;
   kept.reserve(rows_.size());
   for (Tuple& row : rows_) {
-    std::string key;
-    for (const Value& value : row) {
-      key += static_cast<char>('0' + static_cast<int>(value.type()));
-      key += value.ToString();
-      key.push_back('\x1f');
-    }
-    if (seen.insert(std::move(key)).second) {
+    if (seen.insert(TupleRepresentationKey(row)).second) {
       kept.push_back(std::move(row));
     }
   }

@@ -23,6 +23,13 @@ bool TupleEquals(const Tuple& a, const Tuple& b);
 /// Lexicographic comparison using Value::Compare.
 int TupleCompare(const Tuple& a, const Tuple& b);
 
+/// Representation-level key of a tuple: two tuples get equal keys iff they
+/// render identically field by field (same types, same printed payloads —
+/// NULLs *are* equal here, unlike join semantics). This is the equality
+/// Relation::DeduplicateRows uses; the factorized universal-table builder
+/// shares it so its dedup is byte-identical to the materialized path.
+std::string TupleRepresentationKey(const Tuple& tuple);
+
 /// An in-memory table: a name, a schema, and rows.
 ///
 /// This is the storage substrate for JIM. The demo paper's system sits on a

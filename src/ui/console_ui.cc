@@ -19,14 +19,14 @@ constexpr const char* kReset = "\x1b[0m";
 
 std::string RenderInstance(const core::InferenceEngine& engine,
                            const RenderOptions& options) {
-  const rel::Relation& relation = engine.relation();
+  const core::TupleStore& store = engine.store();
   std::vector<std::string> header = {"#", "label"};
-  for (const std::string& name : relation.schema().Names()) {
+  for (const std::string& name : store.schema().Names()) {
     header.push_back(name);
   }
   util::TablePrinter printer(header);
 
-  const size_t limit = std::min(options.max_rows, relation.num_rows());
+  const size_t limit = std::min(options.max_rows, store.num_tuples());
   for (size_t t = 0; t < limit; ++t) {
     const core::TupleStatus status = engine.tuple_status(t);
     std::string marker;
@@ -55,7 +55,7 @@ std::string RenderInstance(const core::InferenceEngine& engine,
     std::vector<std::string> row;
     row.push_back(std::to_string(t + 1));
     row.push_back(marker);
-    for (const rel::Value& value : relation.row(t)) {
+    for (const rel::Value& value : store.DecodeTuple(t)) {
       row.push_back(value.ToString());
     }
     if (options.color && color != nullptr) {
@@ -66,9 +66,9 @@ std::string RenderInstance(const core::InferenceEngine& engine,
     printer.AddRow(std::move(row));
   }
   std::string out = printer.ToString();
-  if (limit < relation.num_rows()) {
+  if (limit < store.num_tuples()) {
     out += util::StrFormat("... (%zu more tuples)\n",
-                           relation.num_rows() - limit);
+                           store.num_tuples() - limit);
   }
   return out;
 }
@@ -78,6 +78,16 @@ std::string RenderTuple(const rel::Relation& relation, size_t tuple_index) {
   const auto names = relation.schema().Names();
   for (size_t a = 0; a < relation.num_attributes(); ++a) {
     parts.push_back(names[a] + "=" + relation.row(tuple_index)[a].ToString());
+  }
+  return util::Join(parts, ", ");
+}
+
+std::string RenderTuple(const core::TupleStore& store, size_t tuple_index) {
+  std::vector<std::string> parts;
+  const auto names = store.schema().Names();
+  const rel::Tuple tuple = store.DecodeTuple(tuple_index);
+  for (size_t a = 0; a < tuple.size(); ++a) {
+    parts.push_back(names[a] + "=" + tuple[a].ToString());
   }
   return util::Join(parts, ", ");
 }

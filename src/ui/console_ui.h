@@ -27,6 +27,9 @@ std::string RenderInstance(const core::InferenceEngine& engine,
 /// One tuple as "From=Paris, To=Lille, ..." for question prompts.
 std::string RenderTuple(const rel::Relation& relation, size_t tuple_index);
 
+/// Same, decoding the tuple from a TupleStore on demand.
+std::string RenderTuple(const core::TupleStore& store, size_t tuple_index);
+
 /// The progress box the demo keeps on screen: "labeled k of N tuples (x%),
 /// grayed out m (y%), remaining ...".
 std::string RenderProgress(const core::InferenceEngine& engine);

@@ -74,9 +74,16 @@ std::optional<ParsedAnswer> ParseAnswer(const std::string& command) {
 util::StatusOr<core::JoinPredicate> RunConsoleDemo(
     std::shared_ptr<const rel::Relation> relation, DemoOptions options,
     std::istream& in, std::ostream& out) {
+  return RunConsoleDemo(core::MakeRelationStore(std::move(relation)),
+                        std::move(options), in, out);
+}
+
+util::StatusOr<core::JoinPredicate> RunConsoleDemo(
+    std::shared_ptr<const core::TupleStore> store, DemoOptions options,
+    std::istream& in, std::ostream& out) {
   ASSIGN_OR_RETURN(auto strategy,
                    core::MakeStrategy(options.strategy, options.seed));
-  InferenceEngine engine(std::move(relation));
+  InferenceEngine engine(std::move(store));
   util::Rng rng(options.seed);
 
   out << "JIM — Join Inference Machine\n"
@@ -106,7 +113,7 @@ util::StatusOr<core::JoinPredicate> RunConsoleDemo(
           const size_t tuple =
               engine.tuple_class(proposed_classes[i]).tuple_indices[0];
           out << "  [" << (i + 1) << "] "
-              << RenderTuple(engine.relation(), tuple) << "\n";
+              << RenderTuple(engine.store(), tuple) << "\n";
         }
         prompt = "label one (\"<option> +\" / \"<option> -\", t, p, q)> ";
         break;
@@ -116,7 +123,7 @@ util::StatusOr<core::JoinPredicate> RunConsoleDemo(
         const size_t tuple =
             engine.tuple_class(proposed_classes[0]).tuple_indices[0];
         out << "include this tuple in the join result?\n  "
-            << RenderTuple(engine.relation(), tuple) << "\n";
+            << RenderTuple(engine.store(), tuple) << "\n";
         prompt = "(+ / - / t / p / q)> ";
         break;
       }
@@ -146,7 +153,7 @@ util::StatusOr<core::JoinPredicate> RunConsoleDemo(
                           .tuple_indices[0];
       }
       simulated.label =
-          options.auto_oracle->LabelFor(engine.relation().row(tuple_index));
+          options.auto_oracle->LabelFor(engine.store().DecodeTuple(tuple_index));
       out << prompt << "[auto] "
           << (simulated.number > 0
                   ? util::StrFormat("%zu ", simulated.number)
@@ -207,7 +214,7 @@ util::StatusOr<core::JoinPredicate> RunConsoleDemo(
 
   const core::JoinPredicate result = engine.Result();
   out << "\ninferred join query: " << result.ToString() << "\n"
-      << "SQL: SELECT * FROM " << engine.relation().name() << " WHERE "
+      << "SQL: SELECT * FROM " << engine.store().name() << " WHERE "
       << result.ToSqlWhere() << ";\n"
       << RenderProgress(engine) << "\n";
   return result;

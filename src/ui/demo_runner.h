@@ -49,6 +49,11 @@ inline constexpr std::string_view kUserQuitMessage =
 /// Returns the inferred predicate, or an error if input ends prematurely /
 /// the strategy name is unknown.
 util::StatusOr<core::JoinPredicate> RunConsoleDemo(
+    std::shared_ptr<const core::TupleStore> store, DemoOptions options,
+    std::istream& in, std::ostream& out);
+
+/// Convenience: wraps `relation` into a RelationTupleStore first.
+util::StatusOr<core::JoinPredicate> RunConsoleDemo(
     std::shared_ptr<const rel::Relation> relation, DemoOptions options,
     std::istream& in, std::ostream& out);
 

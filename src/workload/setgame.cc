@@ -51,6 +51,11 @@ std::shared_ptr<const rel::Relation> SetPairInstance(size_t sample_size,
   return std::make_shared<const rel::Relation>(*std::move(pairs));
 }
 
+std::shared_ptr<const core::TupleStore> SetPairStore(size_t sample_size,
+                                                     util::Rng& rng) {
+  return core::MakeRelationStore(SetPairInstance(sample_size, rng));
+}
+
 core::JoinPredicate SameColorAndShadingGoal(const rel::Schema& pair_schema) {
   auto parsed = core::JoinPredicate::Parse(
       pair_schema, "Left.Color=Right.Color && Left.Shading=Right.Shading");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/join_predicate.h"
+#include "core/tuple_store.h"
 #include "relational/relation.h"
 #include "util/rng.h"
 
@@ -27,6 +28,11 @@ rel::Relation AllSetCards();
 /// 8 attributes (Left.Number, ..., Right.Color). When `sample_size` > 0 and
 /// smaller than 6561, a uniform sample is drawn instead.
 std::shared_ptr<const rel::Relation> SetPairInstance(size_t sample_size,
+                                                     util::Rng& rng);
+
+/// The pair instance behind the TupleStore seam (encoded once) — what the
+/// setgame benches and examples hand to the engine.
+std::shared_ptr<const core::TupleStore> SetPairStore(size_t sample_size,
                                                      util::Rng& rng);
 
 /// The demo's example goal on the pair instance: "select the pairs of

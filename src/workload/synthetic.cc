@@ -81,9 +81,11 @@ SyntheticWorkload MakeSyntheticWorkload(const SyntheticSpec& spec,
     instance.AddRowUnchecked(std::move(row));
   }
 
-  SyntheticWorkload workload{
-      std::make_shared<const rel::Relation>(std::move(instance)),
-      core::JoinPredicate(schema, goal_partition)};
+  auto shared_instance =
+      std::make_shared<const rel::Relation>(std::move(instance));
+  SyntheticWorkload workload{shared_instance,
+                             core::MakeRelationStore(shared_instance),
+                             core::JoinPredicate(schema, goal_partition)};
   return workload;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/join_predicate.h"
+#include "core/tuple_store.h"
 #include "lattice/partition.h"
 #include "relational/relation.h"
 #include "util/rng.h"
@@ -34,8 +35,12 @@ struct SyntheticSpec {
 lat::Partition RandomPartitionWithRank(size_t n, size_t rank, util::Rng& rng);
 
 /// One generated workload: the instance plus the goal query planted in it.
+/// `store` is the same instance behind the TupleStore seam (dictionary-
+/// encoded once at generation time) — what benches hand to the engine so
+/// class construction runs on codes.
 struct SyntheticWorkload {
   std::shared_ptr<const rel::Relation> instance;
+  std::shared_ptr<const core::TupleStore> store;
   core::JoinPredicate goal;
 };
 

@@ -1,5 +1,7 @@
 #include "workload/travel.h"
 
+#include <utility>
+
 #include "relational/join.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -58,6 +60,10 @@ std::shared_ptr<const rel::Relation> Figure1InstancePtr() {
   return std::make_shared<const rel::Relation>(Figure1Instance());
 }
 
+std::shared_ptr<const core::TupleStore> Figure1StorePtr() {
+  return core::MakeRelationStore(Figure1InstancePtr());
+}
+
 rel::Catalog TravelCatalog() {
   rel::Catalog catalog;
   JIM_CHECK_OK(catalog.Add(MakeFlights()));
@@ -65,9 +71,14 @@ rel::Catalog TravelCatalog() {
   return catalog;
 }
 
-rel::Relation LargeTravelInstance(size_t num_flights, size_t num_hotels,
-                                  size_t num_cities, size_t num_airlines,
-                                  util::Rng& rng) {
+namespace {
+
+/// Shared generator behind LargeTravelInstance and LargeTravelCatalog; the
+/// RNG consumption order is fixed (all flights, then all hotels), so both
+/// entry points describe the same scenario for one seed.
+std::pair<rel::Relation, rel::Relation> MakeLargeTravelRelations(
+    size_t num_flights, size_t num_hotels, size_t num_cities,
+    size_t num_airlines, util::Rng& rng) {
   using rel::Value;
   auto city = [&](size_t i) { return util::StrFormat("City%zu", i); };
   auto airline = [&](size_t i) { return util::StrFormat("Airline%zu", i); };
@@ -99,10 +110,31 @@ rel::Relation LargeTravelInstance(size_t num_flights, size_t num_hotels,
     JIM_CHECK_OK(hotels.AddRow({Value(city(where)), Value(discount)}));
   }
 
+  return {std::move(flights), std::move(hotels)};
+}
+
+}  // namespace
+
+rel::Relation LargeTravelInstance(size_t num_flights, size_t num_hotels,
+                                  size_t num_cities, size_t num_airlines,
+                                  util::Rng& rng) {
+  auto [flights, hotels] = MakeLargeTravelRelations(
+      num_flights, num_hotels, num_cities, num_airlines, rng);
   auto product = rel::CrossProduct(
       flights, hotels, rel::JoinOptions::Named("FlightHotel"));
   JIM_CHECK(product.ok());
   return *std::move(product);
+}
+
+rel::Catalog LargeTravelCatalog(size_t num_flights, size_t num_hotels,
+                                size_t num_cities, size_t num_airlines,
+                                util::Rng& rng) {
+  auto [flights, hotels] = MakeLargeTravelRelations(
+      num_flights, num_hotels, num_cities, num_airlines, rng);
+  rel::Catalog catalog;
+  JIM_CHECK_OK(catalog.Add(std::move(flights)));
+  JIM_CHECK_OK(catalog.Add(std::move(hotels)));
+  return catalog;
 }
 
 }  // namespace jim::workload

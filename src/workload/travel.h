@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "core/tuple_store.h"
 #include "relational/catalog.h"
 #include "relational/relation.h"
 #include "util/rng.h"
@@ -16,6 +17,9 @@ rel::Relation Figure1Instance();
 
 /// Figure 1 as a shared relation, ready for an InferenceEngine.
 std::shared_ptr<const rel::Relation> Figure1InstancePtr();
+
+/// Figure 1 behind the TupleStore seam (encoded once).
+std::shared_ptr<const core::TupleStore> Figure1StorePtr();
 
 /// The two goal queries discussed in the paper:
 ///   Q1:  To ≈ City
@@ -37,6 +41,15 @@ rel::Catalog TravelCatalog();
 rel::Relation LargeTravelInstance(size_t num_flights, size_t num_hotels,
                                   size_t num_cities, size_t num_airlines,
                                   util::Rng& rng);
+
+/// The same scaled-up scenario as *separate* Flights/Hotels relations in a
+/// catalog — the input of the factorized universal-table ingest path, whose
+/// memory stays O(num_flights + num_hotels) while the candidate count is
+/// the full num_flights × num_hotels product (bench_scalability's
+/// above-the-cap sweep builds on this).
+rel::Catalog LargeTravelCatalog(size_t num_flights, size_t num_hotels,
+                                size_t num_cities, size_t num_airlines,
+                                util::Rng& rng);
 
 }  // namespace jim::workload
 

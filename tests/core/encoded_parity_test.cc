@@ -1,0 +1,225 @@
+// Parity of the encoded (code-kernel) pipeline against the legacy
+// Value-row path:
+//   - Part(t) and the class table from integer codes equal the reference
+//     TuplePartition grouping over decoded Value rows, at any thread count;
+//   - full session transcripts over a factorized universal table are
+//     byte-identical to sessions over the materialized Value-row instance,
+//     across interaction modes 1–4 and every strategy.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/jim.h"
+#include "exec/thread_pool.h"
+#include "query/universal_table.h"
+#include "relational/catalog.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/synthetic.h"
+#include "workload/travel.h"
+
+namespace jim::core {
+namespace {
+
+/// Reference class construction: the pre-columnar engine's algorithm —
+/// Part(t) via TuplePartition over Value rows, classes keyed by partition in
+/// first-occurrence order.
+struct ReferenceClasses {
+  std::vector<lat::Partition> partitions;
+  std::vector<size_t> class_of_tuple;
+};
+
+ReferenceClasses BuildReferenceClasses(const rel::Relation& relation) {
+  ReferenceClasses reference;
+  std::unordered_map<lat::Partition, size_t, lat::PartitionHash> ids;
+  for (size_t t = 0; t < relation.num_rows(); ++t) {
+    lat::Partition part = TuplePartition(relation.row(t));
+    auto [it, inserted] = ids.emplace(part, reference.partitions.size());
+    if (inserted) reference.partitions.push_back(std::move(part));
+    reference.class_of_tuple.push_back(it->second);
+  }
+  return reference;
+}
+
+void ExpectClassesMatchReference(const InferenceEngine& engine,
+                                 const rel::Relation& relation,
+                                 const std::string& context) {
+  const ReferenceClasses reference = BuildReferenceClasses(relation);
+  ASSERT_EQ(engine.num_classes(), reference.partitions.size()) << context;
+  for (size_t c = 0; c < engine.num_classes(); ++c) {
+    EXPECT_EQ(engine.tuple_class(c).partition, reference.partitions[c])
+        << context << " class " << c;
+  }
+  for (size_t t = 0; t < relation.num_rows(); ++t) {
+    EXPECT_EQ(engine.class_of_tuple(t), reference.class_of_tuple[t])
+        << context << " tuple " << t;
+  }
+}
+
+TEST(EncodedParityTest, ClassesMatchValueRowReferenceAtAnyThreadCount) {
+  for (uint64_t seed : {3u, 19u, 271u}) {
+    util::Rng rng(seed);
+    workload::SyntheticSpec spec;
+    spec.num_attributes = 5 + seed % 3;
+    spec.num_tuples = 400;
+    spec.domain_size = 3;
+    spec.goal_constraints = 2;
+    const auto workload = workload::MakeSyntheticWorkload(spec, rng);
+
+    const InferenceEngine serial(workload.store, /*pool=*/nullptr);
+    ExpectClassesMatchReference(serial, *workload.instance,
+                                util::StrFormat("seed=%zu serial",
+                                                size_t{seed}));
+    for (size_t threads : {2u, 8u}) {
+      exec::ThreadPool pool(threads);
+      const InferenceEngine parallel(workload.store, &pool);
+      ExpectClassesMatchReference(
+          parallel, *workload.instance,
+          util::StrFormat("seed=%zu threads=%zu", size_t{seed},
+                          size_t{threads}));
+      // Bitwise-identical knowledge too, not just equal partitions.
+      ASSERT_EQ(parallel.num_classes(), serial.num_classes());
+      for (size_t c = 0; c < serial.num_classes(); ++c) {
+        EXPECT_EQ(parallel.ClassKnowledge(c), serial.ClassKnowledge(c));
+        EXPECT_EQ(parallel.tuple_class(c).tuple_indices,
+                  serial.tuple_class(c).tuple_indices);
+      }
+      EXPECT_EQ(parallel.InformativeClasses(), serial.InformativeClasses());
+    }
+  }
+}
+
+TEST(EncodedParityTest, NullsAndTypeCollisionsPartitionLikeValues) {
+  using rel::Value;
+  rel::Relation relation{"nulls",
+                         rel::Schema::FromNames({"a", "b", "c", "d"})};
+  relation.AddRowUnchecked(
+      {Value::Null(), Value::Null(), Value("x"), Value("x")});
+  relation.AddRowUnchecked(
+      {Value(int64_t{1}), Value("1"), Value(1.0), Value(int64_t{1})});
+  relation.AddRowUnchecked(
+      {Value::Null(), Value("x"), Value("x"), Value::Null()});
+  auto shared = std::make_shared<const rel::Relation>(std::move(relation));
+  const InferenceEngine engine(MakeRelationStore(shared), nullptr);
+  ExpectClassesMatchReference(engine, *shared, "nulls-and-types");
+}
+
+/// Session transcript with the timing column zeroed (wall-clock is the one
+/// legitimately non-deterministic field), rendered through the production
+/// JSON serializer so the comparison is byte-level.
+std::string TranscriptJson(SessionResult result) {
+  for (SessionStep& step : result.steps) step.micros = 0;
+  result.total_seconds = 0;
+  return SessionResultToJson(result);
+}
+
+TEST(EncodedParityTest, TranscriptsIdenticalAcrossModesAndStrategies) {
+  // A two-relation catalog whose factorized universal table and its
+  // materialized twin must drive byte-identical sessions.
+  util::Rng rng(99);
+  const rel::Catalog catalog =
+      workload::LargeTravelCatalog(/*num_flights=*/18, /*num_hotels=*/7,
+                                   /*num_cities=*/4, /*num_airlines=*/3, rng);
+  query::UniversalTableOptions options;
+  options.sample_cap = 90;  // below 18×7=126: exercises the sampled path
+  options.seed = 17;
+  const auto table =
+      query::UniversalTable::Build(catalog, {"Flights", "Hotels"}, options)
+          .value();
+  ASSERT_TRUE(table.is_sampled());
+  const auto materialized =
+      std::make_shared<const rel::Relation>(table.Materialize());
+  const auto goal =
+      JoinPredicate::Parse(table.schema(), "Flights.To = Hotels.City")
+          .value();
+
+  for (const std::string& strategy_name : KnownStrategyNames()) {
+    if (strategy_name == "optimal") continue;  // exponential; covered below
+    for (int mode = 1; mode <= 4; ++mode) {
+      SessionOptions session_options;
+      session_options.mode = static_cast<InteractionMode>(mode);
+      session_options.user_seed = 7 + static_cast<uint64_t>(mode);
+
+      auto strategy_encoded = MakeStrategy(strategy_name, 5).value();
+      ExactOracle oracle_encoded(goal);
+      const SessionResult encoded =
+          RunSession(table.store(), goal, *strategy_encoded, oracle_encoded,
+                     session_options);
+
+      auto strategy_legacy = MakeStrategy(strategy_name, 5).value();
+      ExactOracle oracle_legacy(goal);
+      const SessionResult legacy =
+          RunSession(materialized, goal, *strategy_legacy, oracle_legacy,
+                     session_options);
+
+      EXPECT_EQ(TranscriptJson(encoded), TranscriptJson(legacy))
+          << strategy_name << " mode " << mode;
+      EXPECT_TRUE(encoded.identified_goal)
+          << strategy_name << " mode " << mode;
+    }
+  }
+}
+
+TEST(EncodedParityTest, OptimalStrategyTranscriptParityOnFigure1) {
+  const rel::Catalog catalog = workload::TravelCatalog();
+  const auto table =
+      query::UniversalTable::Build(catalog, {"Flights", "Hotels"}).value();
+  const auto materialized =
+      std::make_shared<const rel::Relation>(table.Materialize());
+  const auto goal =
+      JoinPredicate::Parse(table.schema(),
+                           "Flights.To = Hotels.City && "
+                           "Flights.Airline = Hotels.Discount")
+          .value();
+  for (int mode = 1; mode <= 4; ++mode) {
+    SessionOptions session_options;
+    session_options.mode = static_cast<InteractionMode>(mode);
+
+    auto strategy_encoded = MakeStrategy("optimal").value();
+    ExactOracle oracle_encoded(goal);
+    const SessionResult encoded = RunSession(
+        table.store(), goal, *strategy_encoded, oracle_encoded,
+        session_options);
+
+    auto strategy_legacy = MakeStrategy("optimal").value();
+    ExactOracle oracle_legacy(goal);
+    const SessionResult legacy = RunSession(
+        materialized, goal, *strategy_legacy, oracle_legacy, session_options);
+
+    EXPECT_EQ(TranscriptJson(encoded), TranscriptJson(legacy))
+        << "mode " << mode;
+  }
+}
+
+TEST(EncodedParityTest, NoisyOracleTranscriptParity) {
+  // Noise consumes the oracle RNG per asked tuple; identical questions ⇒
+  // identical noise stream ⇒ identical transcripts.
+  util::Rng rng(41);
+  const rel::Catalog catalog = workload::LargeTravelCatalog(10, 6, 3, 2, rng);
+  const auto table =
+      query::UniversalTable::Build(catalog, {"Flights", "Hotels"}).value();
+  const auto materialized =
+      std::make_shared<const rel::Relation>(table.Materialize());
+  const auto goal =
+      JoinPredicate::Parse(table.schema(), "Flights.To = Hotels.City")
+          .value();
+
+  auto strategy_encoded = MakeStrategy("lookahead-entropy").value();
+  NoisyOracle oracle_encoded(goal, 0.2, 11);
+  const SessionResult encoded =
+      RunSession(table.store(), goal, *strategy_encoded, oracle_encoded, {});
+
+  auto strategy_legacy = MakeStrategy("lookahead-entropy").value();
+  NoisyOracle oracle_legacy(goal, 0.2, 11);
+  const SessionResult legacy =
+      RunSession(materialized, goal, *strategy_legacy, oracle_legacy, {});
+
+  EXPECT_EQ(TranscriptJson(encoded), TranscriptJson(legacy));
+}
+
+}  // namespace
+}  // namespace jim::core

@@ -108,6 +108,50 @@ TEST(EngineCowTest, CloneBehavesExactlyLikeAFreshEngine) {
   EXPECT_EQ(prototype.history().size(), 0u);  // never touched
 }
 
+TEST(EngineCowTest, CloneSharesSessionArraysUntilFirstLabel) {
+  const auto workload = MakeWorkload(6);
+  const InferenceEngine prototype(workload.instance);
+  InferenceEngine clone = prototype;
+
+  // The flat session arrays (worklist, statuses, explicit labels) are shared
+  // by address, like the class table — EngineCopy is pointer bumps only.
+  EXPECT_EQ(&clone.InformativeClasses(), &prototype.InformativeClasses());
+
+  // Any label — even a negative one, which never touches the knowledge
+  // cache — detaches the session arrays.
+  const size_t c = AnyInformative(clone);
+  ASSERT_TRUE(clone.SubmitClassLabel(c, Label::kNegative).ok());
+  EXPECT_NE(&clone.InformativeClasses(), &prototype.InformativeClasses());
+
+  // The prototype's view is untouched.
+  EXPECT_EQ(prototype.class_status(c), ClassStatus::kInformative);
+  EXPECT_EQ(prototype.history().size(), 0u);
+  EXPECT_EQ(prototype.GetStats().explicitly_labeled_tuples, 0u);
+  // A second label on the (now sole-owner) clone does not re-copy.
+  if (!clone.IsDone()) {
+    const std::vector<size_t>* before = &clone.InformativeClasses();
+    ASSERT_TRUE(
+        clone.SubmitClassLabel(AnyInformative(clone), Label::kNegative).ok());
+    EXPECT_EQ(&clone.InformativeClasses(), before);
+  }
+}
+
+TEST(EngineCowTest, WastedLabelOnCloneLeavesPrototypeUntouched) {
+  const auto workload = MakeWorkload(7);
+  const InferenceEngine prototype(workload.instance);
+  InferenceEngine clone = prototype;
+
+  const size_t c = AnyInformative(clone);
+  ASSERT_TRUE(clone.SubmitClassLabel(c, Label::kPositive).ok());
+  // Re-labeling the same class consistently is a wasted interaction — it
+  // mutates only the explicit-label array, which must already be detached.
+  const size_t tuple = clone.tuple_class(c).tuple_indices.front();
+  ASSERT_TRUE(clone.SubmitTupleLabel(tuple, Label::kPositive).ok());
+  EXPECT_EQ(clone.GetStats().wasted_interactions, 1u);
+  EXPECT_EQ(prototype.tuple_status(tuple), TupleStatus::kInformative);
+  EXPECT_EQ(prototype.GetStats().wasted_interactions, 0u);
+}
+
 TEST(EngineCowTest, SiblingClonesAreIndependent) {
   const auto workload = MakeWorkload(5);
   const InferenceEngine prototype(workload.instance);

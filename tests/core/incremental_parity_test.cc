@@ -34,7 +34,7 @@ workload::SyntheticWorkload MakeWorkload(uint64_t seed, size_t tuples,
 /// classifies every class from scratch — the naive reference the incremental
 /// engine must match.
 void ExpectStatusesMatchFreshState(const InferenceEngine& engine) {
-  InferenceState fresh(engine.relation().num_attributes());
+  InferenceState fresh(engine.store().num_attributes());
   for (const LabeledExample& example : engine.history()) {
     const size_t cls = engine.class_of_tuple(example.tuple_index);
     ASSERT_TRUE(

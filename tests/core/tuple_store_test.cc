@@ -1,0 +1,95 @@
+#include "core/tuple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/join_predicate.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "util/rng.h"
+#include "workload/travel.h"
+
+namespace jim::core {
+namespace {
+
+std::shared_ptr<const rel::Relation> MixedRelation() {
+  using rel::Value;
+  rel::Relation relation{"mixed", rel::Schema::FromNames({"a", "b", "c"})};
+  relation.AddRowUnchecked({Value("x"), Value("x"), Value("y")});
+  relation.AddRowUnchecked({Value::Null(), Value::Null(), Value("x")});
+  relation.AddRowUnchecked(
+      {Value(int64_t{1}), Value("1"), Value(int64_t{1})});
+  return std::make_shared<const rel::Relation>(std::move(relation));
+}
+
+TEST(RelationTupleStoreTest, CodesCompareAcrossAttributes) {
+  RelationTupleStore store(MixedRelation());
+  // Row 0: a == b ("x"), both != c ("y").
+  EXPECT_EQ(store.code(0, 0), store.code(0, 1));
+  EXPECT_NE(store.code(0, 0), store.code(0, 2));
+  // "x" in row 0 col 0 equals "x" in row 1 col 2 — across rows and columns.
+  EXPECT_EQ(store.code(0, 0), store.code(1, 2));
+  // Type-strict: 1 (int) != "1" (string).
+  EXPECT_EQ(store.code(2, 0), store.code(2, 2));
+  EXPECT_NE(store.code(2, 0), store.code(2, 1));
+}
+
+TEST(RelationTupleStoreTest, NullsGetTheSentinel) {
+  RelationTupleStore store(MixedRelation());
+  EXPECT_EQ(store.code(1, 0), rel::kNullCode);
+  EXPECT_EQ(store.code(1, 1), rel::kNullCode);
+  EXPECT_NE(store.code(1, 2), rel::kNullCode);
+  EXPECT_TRUE(store.DecodeValue(1, 0).is_null());
+}
+
+TEST(RelationTupleStoreTest, BulkCodesMatchScalarCodes) {
+  RelationTupleStore store(MixedRelation());
+  std::vector<uint32_t> codes(store.num_attributes());
+  for (size_t t = 0; t < store.num_tuples(); ++t) {
+    store.TupleCodes(t, codes.data());
+    for (size_t a = 0; a < store.num_attributes(); ++a) {
+      EXPECT_EQ(codes[a], store.code(t, a)) << "t=" << t << " a=" << a;
+    }
+  }
+}
+
+TEST(RelationTupleStoreTest, DecodeTupleEqualsTheRow) {
+  auto relation = MixedRelation();
+  RelationTupleStore store(relation);
+  for (size_t t = 0; t < store.num_tuples(); ++t) {
+    const rel::Tuple decoded = store.DecodeTuple(t);
+    ASSERT_EQ(decoded.size(), relation->row(t).size());
+    for (size_t a = 0; a < decoded.size(); ++a) {
+      EXPECT_EQ(rel::TupleRepresentationKey({decoded[a]}),
+                rel::TupleRepresentationKey({relation->row(t)[a]}));
+    }
+  }
+  EXPECT_EQ(store.schema().Names(), relation->schema().Names());
+  EXPECT_EQ(store.name(), relation->name());
+}
+
+TEST(RelationTupleStoreTest, SelectsCodesMatchesValueSelects) {
+  auto instance = workload::Figure1InstancePtr();
+  RelationTupleStore store(instance);
+  const auto q2 =
+      JoinPredicate::Parse(instance->schema(), workload::kQ2).value();
+  std::vector<uint32_t> codes(store.num_attributes());
+  for (size_t t = 0; t < store.num_tuples(); ++t) {
+    store.TupleCodes(t, codes.data());
+    EXPECT_EQ(q2.SelectsCodes(codes.data()), q2.Selects(instance->row(t)))
+        << "tuple " << t;
+  }
+  EXPECT_EQ(q2.SelectedRows(store), q2.SelectedRows(*instance));
+  EXPECT_TRUE(InstanceEquivalent(store, q2, q2));
+}
+
+TEST(RelationTupleStoreTest, ApproxBytesTracksTheCodeMatrix) {
+  auto relation = MixedRelation();
+  RelationTupleStore store(relation);
+  EXPECT_GE(store.ApproxBytes(),
+            store.num_tuples() * store.num_attributes() * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace jim::core

@@ -48,11 +48,11 @@ TEST(EndToEnd, TpchUniversalTableInferenceToSql) {
       query::UniversalTable::Build(catalog, {"customer", "orders"}, options)
           .value();
   const auto goal =
-      core::JoinPredicate::Parse(table.relation()->schema(),
+      core::JoinPredicate::Parse(table.schema(),
                                  "customer.c_custkey = orders.o_custkey")
           .value();
   auto strategy = core::MakeStrategy("lookahead-entropy").value();
-  const auto session = core::RunSession(table.relation(), goal, *strategy);
+  const auto session = core::RunSession(table.store(), goal, *strategy);
   ASSERT_TRUE(session.identified_goal);
 
   const query::JoinQuery query = table.ToJoinQuery(*session.result);
@@ -134,13 +134,13 @@ TEST(EndToEnd, SelfJoinInferenceOverUniversalTable) {
   const rel::Catalog catalog = workload::TravelCatalog();
   const auto table =
       query::UniversalTable::Build(catalog, {"Flights", "Flights"}).value();
-  EXPECT_EQ(table.relation()->num_rows(), 16u);
+  EXPECT_EQ(table.num_tuples(), 16u);
   const auto goal =
-      core::JoinPredicate::Parse(table.relation()->schema(),
+      core::JoinPredicate::Parse(table.schema(),
                                  "Flights_1.To = Flights_2.From")
           .value();
   auto strategy = core::MakeStrategy("lookahead-entropy").value();
-  const auto session = core::RunSession(table.relation(), goal, *strategy);
+  const auto session = core::RunSession(table.store(), goal, *strategy);
   ASSERT_TRUE(session.identified_goal);
   const auto query = table.ToJoinQuery(*session.result);
   EXPECT_EQ(query.Evaluate(catalog).value().num_rows(), 5u);

@@ -84,7 +84,7 @@ TEST(UniversalTableTest, TravelFullProduct) {
   const rel::Catalog catalog = workload::TravelCatalog();
   const auto table =
       UniversalTable::Build(catalog, {"Flights", "Hotels"}).value();
-  EXPECT_EQ(table.relation()->num_rows(), 12u);
+  EXPECT_EQ(table.num_tuples(), 12u);
   EXPECT_FALSE(table.is_sampled());
   EXPECT_EQ(table.full_product_size(), 12u);
   EXPECT_EQ(table.num_attributes(), 5u);
@@ -94,7 +94,9 @@ TEST(UniversalTableTest, TravelFullProduct) {
   EXPECT_EQ(table.provenance(4).relation_name, "Hotels");
   EXPECT_EQ(table.provenance(4).column_index, 1u);
   // Schema is qualified.
-  EXPECT_EQ(table.relation()->schema().Names()[0], "Flights.From");
+  EXPECT_EQ(table.schema().Names()[0], "Flights.From");
+  // The factorized table decodes to exactly the Figure 1 instance.
+  EXPECT_EQ(table.Materialize().num_rows(), 12u);
 }
 
 TEST(UniversalTableTest, SamplingKicksInAboveCap) {
@@ -106,7 +108,7 @@ TEST(UniversalTableTest, SamplingKicksInAboveCap) {
   const auto table =
       UniversalTable::Build(catalog, {"customer", "orders"}, options).value();
   EXPECT_TRUE(table.is_sampled());
-  EXPECT_LE(table.relation()->num_rows(), 500u);
+  EXPECT_LE(table.num_tuples(), 500u);
   EXPECT_EQ(table.full_product_size(), 50u * 100u);
 }
 
@@ -116,7 +118,7 @@ TEST(UniversalTableTest, RoundTripPredicateToQuery) {
       UniversalTable::Build(catalog, {"Flights", "Hotels"}).value();
   const auto predicate =
       core::JoinPredicate::Parse(
-          table.relation()->schema(),
+          table.schema(),
           "Flights.To = Hotels.City && Flights.Airline = Hotels.Discount")
           .value();
   const JoinQuery query = table.ToJoinQuery(predicate);
@@ -127,10 +129,12 @@ TEST(UniversalTableTest, RoundTripPredicateToQuery) {
   EXPECT_NE(sql.find("Flights.To = Hotels.City"), std::string::npos);
   EXPECT_NE(sql.find("Flights.Airline = Hotels.Discount"), std::string::npos);
   // Evaluating the query equals filtering the universal table by the
-  // predicate.
+  // predicate — both on codes and on the decoded rows.
   const auto evaluated = query.Evaluate(catalog).value();
   EXPECT_EQ(evaluated.num_rows(),
-            predicate.SelectedRows(*table.relation()).Count());
+            predicate.SelectedRows(*table.store()).Count());
+  EXPECT_EQ(evaluated.num_rows(),
+            predicate.SelectedRows(table.Materialize()).Count());
 }
 
 TEST(UniversalTableTest, EndToEndInferenceOnSources) {
@@ -138,11 +142,11 @@ TEST(UniversalTableTest, EndToEndInferenceOnSources) {
   const rel::Catalog catalog = workload::TravelCatalog();
   const auto table =
       UniversalTable::Build(catalog, {"Flights", "Hotels"}).value();
-  const auto goal = core::JoinPredicate::Parse(table.relation()->schema(),
+  const auto goal = core::JoinPredicate::Parse(table.schema(),
                                                "Flights.To = Hotels.City")
                         .value();
   auto strategy = core::MakeStrategy("lookahead-entropy").value();
-  const auto session = core::RunSession(table.relation(), goal, *strategy);
+  const auto session = core::RunSession(table.store(), goal, *strategy);
   ASSERT_TRUE(session.identified_goal);
   const JoinQuery query = table.ToJoinQuery(*session.result);
   EXPECT_EQ(query.Evaluate(catalog).value().num_rows(), 4u);

@@ -1,0 +1,119 @@
+#include "relational/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace jim::rel {
+namespace {
+
+TEST(DictionaryTest, CodesAreDenseAndFirstCome) {
+  Dictionary dict;
+  EXPECT_EQ(dict.GetOrAdd(Value("Paris")), 0u);
+  EXPECT_EQ(dict.GetOrAdd(Value("Lille")), 1u);
+  EXPECT_EQ(dict.GetOrAdd(Value("Paris")), 0u);  // stable on re-insert
+  EXPECT_EQ(dict.GetOrAdd(Value(int64_t{42})), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.value(0).AsString(), "Paris");
+  EXPECT_EQ(dict.value(2).AsInt64(), 42);
+}
+
+TEST(DictionaryTest, EqualityIsTypeStrict) {
+  // 1 (int), 1.0 (double) and "1" (string) are three distinct values under
+  // Value::Equals, so they must get three distinct codes.
+  Dictionary dict;
+  const uint32_t as_int = dict.GetOrAdd(Value(int64_t{1}));
+  const uint32_t as_double = dict.GetOrAdd(Value(1.0));
+  const uint32_t as_string = dict.GetOrAdd(Value("1"));
+  EXPECT_NE(as_int, as_double);
+  EXPECT_NE(as_int, as_string);
+  EXPECT_NE(as_double, as_string);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, EveryNanOccurrenceMintsAFreshCode) {
+  // NaN ≠ NaN under Value::Equals, so occurrences must never share a code
+  // (and must not pile up in one hash bucket — they bypass the map).
+  Dictionary dict;
+  const double nan = std::nan("");
+  const uint32_t first = dict.GetOrAdd(Value(nan));
+  const uint32_t second = dict.GetOrAdd(Value(nan));
+  EXPECT_NE(first, second);
+  EXPECT_EQ(dict.size(), 2u);
+  // Regular values interleaved with NaNs still dedupe normally.
+  const uint32_t x = dict.GetOrAdd(Value(1.5));
+  dict.GetOrAdd(Value(nan));
+  EXPECT_EQ(dict.GetOrAdd(Value(1.5)), x);
+}
+
+TEST(DictionaryTest, FindDoesNotInsert) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.Find(Value("x")).has_value());
+  EXPECT_EQ(dict.size(), 0u);
+  dict.GetOrAdd(Value("x"));
+  ASSERT_TRUE(dict.Find(Value("x")).has_value());
+  EXPECT_EQ(*dict.Find(Value("x")), 0u);
+  EXPECT_FALSE(dict.Find(Value::Null()).has_value());
+}
+
+Relation TwoColumnRelation() {
+  Relation relation{"r", Schema::FromNames({"a", "b"})};
+  relation.AddRowUnchecked({Value("x"), Value("y")});
+  relation.AddRowUnchecked({Value("y"), Value::Null()});
+  relation.AddRowUnchecked({Value("x"), Value("x")});
+  return relation;
+}
+
+TEST(EncodeColumnTest, NullGetsTheSentinelAndNoDictionaryEntry) {
+  const Relation relation = TwoColumnRelation();
+  const EncodedColumn column = EncodeColumn(relation, 1);
+  ASSERT_EQ(column.num_rows(), 3u);
+  EXPECT_EQ(column.codes[1], kNullCode);
+  EXPECT_EQ(column.num_distinct(), 2u);  // "y" and "x"; no NULL entry
+  EXPECT_TRUE(column.Decode(1).is_null());
+  EXPECT_EQ(column.Decode(0).AsString(), "y");
+}
+
+TEST(EncodeColumnTest, EqualValuesShareACodeWithinAColumn) {
+  const Relation relation = TwoColumnRelation();
+  const EncodedColumn column = EncodeColumn(relation, 0);
+  EXPECT_EQ(column.codes[0], column.codes[2]);  // "x" twice
+  EXPECT_NE(column.codes[0], column.codes[1]);
+}
+
+TEST(EncodedRelationTest, RoundTripsEveryCell) {
+  const Relation relation = TwoColumnRelation();
+  const EncodedRelation encoded = EncodedRelation::FromRelation(relation);
+  ASSERT_EQ(encoded.num_rows(), relation.num_rows());
+  ASSERT_EQ(encoded.num_columns(), relation.num_attributes());
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    for (size_t c = 0; c < relation.num_attributes(); ++c) {
+      const Value& original = relation.row(r)[c];
+      const Value decoded = encoded.column(c).Decode(r);
+      if (original.is_null()) {
+        EXPECT_TRUE(decoded.is_null());
+        EXPECT_EQ(encoded.code(r, c), kNullCode);
+      } else {
+        EXPECT_TRUE(original.Equals(decoded)) << "row " << r << " col " << c;
+      }
+    }
+  }
+  EXPECT_GT(encoded.ApproxBytes(), 0u);
+}
+
+TEST(EncodedRelationTest, ColumnDictionariesAreIndependent) {
+  // "x" appears in both columns; its *local* code may differ per column —
+  // cross-column comparability is the shared-dictionary layer's job.
+  const Relation relation = TwoColumnRelation();
+  const EncodedRelation encoded = EncodedRelation::FromRelation(relation);
+  EXPECT_EQ(encoded.column(0).dictionary.value(encoded.code(2, 0)).AsString(),
+            "x");
+  EXPECT_EQ(encoded.column(1).dictionary.value(encoded.code(2, 1)).AsString(),
+            "x");
+}
+
+}  // namespace
+}  // namespace jim::rel

@@ -154,8 +154,8 @@ TEST(TpchTest, ScenariosParseAgainstTheirUniversalTables) {
     const auto table =
         query::UniversalTable::Build(catalog, scenario.relations, options);
     ASSERT_TRUE(table.ok()) << scenario.name;
-    const auto goal = core::JoinPredicate::Parse(
-        table->relation()->schema(), scenario.goal);
+    const auto goal =
+        core::JoinPredicate::Parse(table->schema(), scenario.goal);
     ASSERT_TRUE(goal.ok()) << scenario.name << ": "
                            << goal.status().ToString();
     EXPECT_EQ(goal->NumConstraints(), scenario.goal_constraints)
