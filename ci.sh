@@ -10,9 +10,11 @@
 #
 # A third stage rebuilds under AddressSanitizer (-DJIM_SANITIZE=address) and
 # runs the columnar storage/ingest suites — dictionary encoding, the
-# TupleStore implementations, the factorized universal table, and the
-# encoded-vs-legacy parity tests, the code that does the pointer-heavy code
-# matrix and row-id work. Set JIM_SKIP_ASAN=1 to skip.
+# TupleStore implementations, the factorized universal table, the
+# encoded-vs-legacy parity tests, and the persistent-storage suites (JIMC
+# write/map round trips, the corruption matrix, sharded composition) — the
+# code that does the pointer-heavy code matrix, row-id, and mmap-parsing
+# work. Set JIM_SKIP_ASAN=1 to skip.
 set -euxo pipefail
 cd "$(dirname "$0")"
 
@@ -20,16 +22,38 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+# Persistent-storage round-trip smoke: save an instance from CSV, reopen it
+# from the JIMC file, and demand byte-identical session transcripts (the
+# save/load notes go to stderr, so stdout must diff clean).
+smokedir="$(mktemp -d)"
+trap 'rm -rf "$smokedir"' EXIT
+cat > "$smokedir/flights.csv" <<'EOF'
+From,To,Airline,City,Discount
+Paris,Lille,AF,Lille,AF
+Paris,Lyon,AF,Lyon,AF
+Lyon,Paris,WF,Paris,WF
+Lille,Nice,WF,Nice,AF
+Nice,Paris,AF,Nice,WF
+EOF
+./build/jim_cli infer "$smokedir/flights.csv" --auto \
+  --goal="To=City && Airline=Discount" \
+  --save-instance="$smokedir/flights.jimc" > "$smokedir/saved.txt"
+./build/jim_cli infer --load-instance="$smokedir/flights.jimc" --auto \
+  --goal="To=City && Airline=Discount" > "$smokedir/loaded.txt"
+diff "$smokedir/saved.txt" "$smokedir/loaded.txt"
+
 if [[ "${JIM_SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . \
     -DJIM_SANITIZE=thread -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j --target \
     exec_thread_pool_test exec_scratch_pool_test exec_batch_runner_test \
-    core_parallel_parity_test core_engine_cow_test core_encoded_parity_test
+    core_parallel_parity_test core_engine_cow_test core_encoded_parity_test \
+    relational_dictionary_test core_tuple_store_test \
+    storage_sharded_store_test query_query_test
   (cd build-tsan && \
     TSAN_OPTIONS="suppressions=$(pwd)/../tsan.supp ${TSAN_OPTIONS:-}" \
     ctest --output-on-failure -j"$(nproc)" \
-    -R 'ThreadPool|ScratchPool|BatchSessionRunner|ParallelParity|EngineCow|EncodedParity')
+    -R 'ThreadPool|ScratchPool|BatchSessionRunner|ParallelParity|EngineCow|EncodedParity|ParallelEncode|ParallelIngest|ParallelScan|UniversalTable|Catalog')
 fi
 
 if [[ "${JIM_SKIP_ASAN:-0}" != "1" ]]; then
@@ -38,7 +62,8 @@ if [[ "${JIM_SKIP_ASAN:-0}" != "1" ]]; then
   cmake --build build-asan -j --target \
     relational_dictionary_test core_tuple_store_test \
     query_factorized_parity_test core_encoded_parity_test query_query_test \
-    core_engine_cow_test
+    core_engine_cow_test storage_jimc_format_test storage_sharded_store_test \
+    storage_mapped_parity_test storage_snapshot_test
   (cd build-asan && ctest --output-on-failure -j"$(nproc)" \
-    -R 'Dictionary|EncodeColumn|EncodedRelation|TupleStore|FactorizedParity|EncodedParity|UniversalTable|EngineCow')
+    -R 'Dictionary|EncodeColumn|EncodedRelation|TupleStore|FactorizedParity|EncodedParity|UniversalTable|EngineCow|Jimc|MappedParity|Snapshot|ParallelEncode')
 fi

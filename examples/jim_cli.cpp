@@ -13,10 +13,20 @@
 //   strategies
 //       List the available question-selection strategies.
 //
+// Persistent instances (infer/classes/eval):
+//   --save-instance=FILE.jimc   after loading, persist the encoded instance
+//       as an mmap-ready JIMC columnar file (confirmation goes to stderr so
+//       saved-vs-loaded session transcripts stay diffable);
+//   --load-instance=FILE.jimc   serve the instance zero-copy from a JIMC
+//       file instead of parsing a CSV — sessions are byte-identical to the
+//       in-memory instance the file was written from.
+//
 // Examples:
 //   jim_cli infer flights.csv
 //   jim_cli infer flights.csv --auto --goal="To=City && Airline=Discount"
 //   jim_cli eval flights.csv --query="To=City"
+//   jim_cli infer flights.csv --save-instance=flights.jimc
+//   jim_cli infer --load-instance=flights.jimc --auto --goal="To=City"
 
 #include <iostream>
 #include <map>
@@ -24,6 +34,9 @@
 
 #include "core/jim.h"
 #include "relational/csv_io.h"
+#include "storage/mapped_store.h"
+#include "storage/snapshot.h"
+#include "storage/store_writer.h"
 #include "ui/console_ui.h"
 #include "ui/demo_runner.h"
 #include "util/string_util.h"
@@ -69,14 +82,41 @@ Flags ParseFlags(int argc, char** argv, int first) {
   return flags;
 }
 
-util::StatusOr<std::shared_ptr<const rel::Relation>> LoadInstance(
+// Resolves the instance behind the TupleStore seam: a CSV parse + encode, or
+// a zero-copy reopen of a JIMC file (--load-instance). --save-instance then
+// persists whichever store was loaded; its note goes to stderr so a saved
+// session's stdout transcript diffs clean against the reloaded one.
+util::StatusOr<std::shared_ptr<const core::TupleStore>> LoadStore(
     const Flags& flags) {
-  if (flags.positional.empty()) {
-    return util::InvalidArgumentError("expected a CSV file argument");
+  std::shared_ptr<const core::TupleStore> store;
+  if (flags.Has("load-instance")) {
+    if (!flags.positional.empty()) {
+      // Accepting both would silently serve whichever one we picked —
+      // e.g. a stale snapshot instead of the CSV actually named.
+      return util::InvalidArgumentError(
+          "got both a CSV argument ('" + flags.positional[0] +
+          "') and --load-instance; pass exactly one instance source");
+    }
+    auto opened = storage::OpenStore(flags.Get("load-instance"));
+    if (!opened.ok()) return opened.status();
+    store = *std::move(opened);
+  } else {
+    if (flags.positional.empty()) {
+      return util::InvalidArgumentError(
+          "expected a CSV file argument (or --load-instance=FILE.jimc)");
+    }
+    auto relation = rel::LoadRelationFromCsvFile(flags.positional[0]);
+    if (!relation.ok()) return relation.status();
+    store = core::MakeRelationStore(
+        std::make_shared<const rel::Relation>(*std::move(relation)));
   }
-  auto relation = rel::LoadRelationFromCsvFile(flags.positional[0]);
-  if (!relation.ok()) return relation.status();
-  return std::make_shared<const rel::Relation>(*std::move(relation));
+  if (flags.Has("save-instance")) {
+    const std::string path = flags.Get("save-instance");
+    const util::Status saved = storage::WriteStore(*store, path);
+    if (!saved.ok()) return saved;
+    std::cerr << "jim_cli: saved instance to " << path << "\n";
+  }
+  return store;
 }
 
 // No-argument default: auto-infer Q2 on the bundled Figure 1 instance, so
@@ -109,11 +149,11 @@ int CmdStrategies() {
 }
 
 int CmdClasses(const Flags& flags) {
-  auto instance = LoadInstance(flags);
-  if (!instance.ok()) return Fail(instance.status().ToString());
-  core::InferenceEngine engine(core::MakeRelationStore(*instance));
-  std::cout << "instance: " << (*instance)->num_rows() << " tuples, "
-            << (*instance)->num_attributes() << " attributes, "
+  auto store = LoadStore(flags);
+  if (!store.ok()) return Fail(store.status().ToString());
+  core::InferenceEngine engine(*store);
+  std::cout << "instance: " << (*store)->num_tuples() << " tuples, "
+            << (*store)->num_attributes() << " attributes, "
             << engine.num_classes() << " tuple classes\n\n";
   util::TablePrinter table({"class", "value partition", "tuples", "example"});
   table.SetAlignments({util::Align::kRight, util::Align::kLeft,
@@ -122,7 +162,7 @@ int CmdClasses(const Flags& flags) {
     const auto& cls = engine.tuple_class(c);
     table.AddRow({std::to_string(c), cls.partition.ToString(),
                   std::to_string(cls.size()),
-                  ui::RenderTuple(**instance, cls.tuple_indices[0])});
+                  ui::RenderTuple(**store, cls.tuple_indices[0])});
   }
   std::cout << table.ToString()
             << "\n(tuples in one class are interchangeable: labeling one "
@@ -131,36 +171,45 @@ int CmdClasses(const Flags& flags) {
 }
 
 int CmdEval(const Flags& flags) {
-  auto instance = LoadInstance(flags);
-  if (!instance.ok()) return Fail(instance.status().ToString());
+  auto store = LoadStore(flags);
+  if (!store.ok()) return Fail(store.status().ToString());
   if (!flags.Has("query")) return Fail("eval needs --query=\"a=b && ...\"");
   auto predicate =
-      core::JoinPredicate::Parse((*instance)->schema(), flags.Get("query"));
+      core::JoinPredicate::Parse((*store)->schema(), flags.Get("query"));
   if (!predicate.ok()) return Fail(predicate.status().ToString());
-  const auto selected = predicate->SelectedRows(**instance);
+  const auto selected = predicate->SelectedRows(**store);
   std::cout << "predicate: " << predicate->ToString() << "\n"
             << "selects " << selected.Count() << " of "
-            << (*instance)->num_rows() << " tuples:\n";
+            << (*store)->num_tuples() << " tuples:\n";
   for (size_t t : selected.ToVector()) {
-    std::cout << "  (" << t + 1 << ") " << ui::RenderTuple(**instance, t)
+    std::cout << "  (" << t + 1 << ") " << ui::RenderTuple(**store, t)
               << "\n";
   }
   return 0;
 }
 
 int CmdInfer(const Flags& flags) {
-  auto instance = LoadInstance(flags);
-  if (!instance.ok()) return Fail(instance.status().ToString());
+  auto store = LoadStore(flags);
+  if (!store.ok()) return Fail(store.status().ToString());
 
-  // The selection+join extension runs its own loop.
+  // The selection+join extension runs its own loop over Value rows. A
+  // CSV-loaded store already holds its relation; only a mapped instance
+  // needs materializing.
   if (flags.Has("selection")) {
     if (!flags.Has("goal")) {
       return Fail("--selection currently requires --goal (auto mode)");
     }
-    auto goal = core::SelectionJoinQuery::Parse((*instance)->schema(),
+    auto goal = core::SelectionJoinQuery::Parse((*store)->schema(),
                                                 flags.Get("goal"));
     if (!goal.ok()) return Fail(goal.status().ToString());
-    const auto result = core::RunSelectionSession(*instance, *goal);
+    const auto* relation_store =
+        dynamic_cast<const core::RelationTupleStore*>(store->get());
+    const auto instance =
+        relation_store != nullptr
+            ? relation_store->relation()
+            : std::make_shared<const rel::Relation>(
+                  storage::MaterializeStore(**store));
+    const auto result = core::RunSelectionSession(instance, *goal);
     std::cout << "questions: " << result.interactions << "\n"
               << "inferred:  "
               << (result.result.has_value() ? result.result->ToString()
@@ -180,7 +229,7 @@ int CmdInfer(const Flags& flags) {
   std::optional<core::JoinPredicate> goal;
   if (flags.Has("goal")) {
     auto parsed =
-        core::JoinPredicate::Parse((*instance)->schema(), flags.Get("goal"));
+        core::JoinPredicate::Parse((*store)->schema(), flags.Get("goal"));
     if (!parsed.ok()) return Fail(parsed.status().ToString());
     goal = *std::move(parsed);
   }
@@ -190,11 +239,11 @@ int CmdInfer(const Flags& flags) {
   }
 
   auto result =
-      ui::RunConsoleDemo(*instance, std::move(options), std::cin, std::cout);
+      ui::RunConsoleDemo(*store, std::move(options), std::cin, std::cout);
   if (!result.ok()) return Fail(result.status().ToString());
   if (goal.has_value()) {
     std::cout << "identified the goal: "
-              << (core::InstanceEquivalent(**instance, *result, *goal)
+              << (core::InstanceEquivalent(**store, *result, *goal)
                       ? "yes"
                       : "NO")
               << "\n";

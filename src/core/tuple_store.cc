@@ -1,5 +1,7 @@
 #include "core/tuple_store.h"
 
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 #include "util/logging.h"
 
 namespace jim::core {
@@ -19,17 +21,56 @@ rel::Tuple TupleStore::DecodeTuple(size_t t) const {
 
 RelationTupleStore::RelationTupleStore(
     std::shared_ptr<const rel::Relation> relation)
+    : RelationTupleStore(relation,
+                         relation != nullptr &&
+                                 relation->num_rows() >=
+                                     rel::kParallelIngestMinRows
+                             ? &exec::SharedPool()
+                             : nullptr) {}
+
+RelationTupleStore::RelationTupleStore(
+    std::shared_ptr<const rel::Relation> relation, exec::ThreadPool* pool)
     : relation_(std::move(relation)) {
   JIM_CHECK(relation_ != nullptr);
   stride_ = relation_->num_attributes();
-  codes_.reserve(relation_->num_rows() * stride_);
-  for (size_t t = 0; t < relation_->num_rows(); ++t) {
-    const rel::Tuple& row = relation_->row(t);
-    for (size_t a = 0; a < stride_; ++a) {
-      codes_.push_back(row[a].is_null() ? rel::kNullCode
-                                        : dictionary_.GetOrAdd(row[a]));
+  const size_t rows = relation_->num_rows();
+  if (pool == nullptr || pool->threads() <= 1 ||
+      rows < rel::kParallelIngestMinRows) {
+    codes_.reserve(rows * stride_);
+    for (size_t t = 0; t < rows; ++t) {
+      const rel::Tuple& row = relation_->row(t);
+      for (size_t a = 0; a < stride_; ++a) {
+        codes_.push_back(row[a].is_null() ? rel::kNullCode
+                                          : dictionary_.GetOrAdd(row[a]));
+      }
     }
+    return;
   }
+  // Parallel ingest over row chunks: chunk-local dictionaries first, then a
+  // serial first-occurrence merge, then a parallel code rewrite. Chunk
+  // boundaries fall on rows and both ParallelFors chunk identically (the
+  // assignment depends only on (rows, threads)), so the shared dictionary's
+  // code order — cell-major first occurrence, one fresh code per NaN
+  // occurrence — is bitwise-identical to the serial path above.
+  codes_.assign(rows * stride_, 0);
+  std::vector<rel::Dictionary> chunk_dictionaries(pool->threads());
+  pool->ParallelFor(rows, [&](size_t t, size_t chunk) {
+    const rel::Tuple& row = relation_->row(t);
+    uint32_t* cell = codes_.data() + t * stride_;
+    for (size_t a = 0; a < stride_; ++a) {
+      cell[a] = row[a].is_null()
+                    ? rel::kNullCode
+                    : chunk_dictionaries[chunk].GetOrAdd(row[a]);
+    }
+  });
+  const std::vector<std::vector<uint32_t>> remaps =
+      rel::MergeChunkDictionaries(chunk_dictionaries, dictionary_);
+  pool->ParallelFor(rows, [&](size_t t, size_t chunk) {
+    uint32_t* cell = codes_.data() + t * stride_;
+    for (size_t a = 0; a < stride_; ++a) {
+      if (cell[a] != rel::kNullCode) cell[a] = remaps[chunk][cell[a]];
+    }
+  });
 }
 
 void RelationTupleStore::TupleCodes(size_t t, uint32_t* out) const {
@@ -44,6 +85,12 @@ size_t RelationTupleStore::ApproxBytes() const {
 std::shared_ptr<const TupleStore> MakeRelationStore(
     std::shared_ptr<const rel::Relation> relation) {
   return std::make_shared<const RelationTupleStore>(std::move(relation));
+}
+
+std::shared_ptr<const TupleStore> MakeRelationStore(
+    std::shared_ptr<const rel::Relation> relation, exec::ThreadPool* pool) {
+  return std::make_shared<const RelationTupleStore>(std::move(relation),
+                                                    pool);
 }
 
 }  // namespace jim::core

@@ -10,6 +10,10 @@
 #include "relational/relation.h"
 #include "relational/schema.h"
 
+namespace jim::exec {
+class ThreadPool;
+}  // namespace jim::exec
+
 namespace jim::core {
 
 /// The narrow seam between storage and inference: everything the engine
@@ -70,7 +74,20 @@ class TupleStore {
 /// cross-attribute code equality holds by construction.
 class RelationTupleStore final : public TupleStore {
  public:
+  /// Large relations (≥ rel::kParallelIngestMinRows) encode on the
+  /// process-wide exec::SharedPool; the result is bitwise-identical to
+  /// serial encoding at any thread count, so this only moves latency. Use
+  /// the two-argument overload to control the pool explicitly (nullptr =
+  /// serial, the reference path parity tests pin against).
   explicit RelationTupleStore(std::shared_ptr<const rel::Relation> relation);
+
+  /// Parallel ingest: `pool` chunks the rows, each chunk encodes into a
+  /// private dictionary, and a serial in-order merge (see
+  /// rel::MergeChunkDictionaries) renumbers — codes and dictionary order are
+  /// bitwise-identical to the serial constructor at any thread count.
+  /// nullptr / 1-thread pools and small relations take the serial path.
+  RelationTupleStore(std::shared_ptr<const rel::Relation> relation,
+                     exec::ThreadPool* pool);
 
   const std::string& name() const override { return relation_->name(); }
   const rel::Schema& schema() const override { return relation_->schema(); }
@@ -98,9 +115,14 @@ class RelationTupleStore final : public TupleStore {
   size_t stride_ = 0;
 };
 
-/// Wraps `relation` into a RelationTupleStore.
+/// Wraps `relation` into a RelationTupleStore (large relations encode on
+/// the shared pool — see the single-argument constructor).
 std::shared_ptr<const TupleStore> MakeRelationStore(
     std::shared_ptr<const rel::Relation> relation);
+
+/// Same, encoding on `pool` explicitly (nullptr = serial).
+std::shared_ptr<const TupleStore> MakeRelationStore(
+    std::shared_ptr<const rel::Relation> relation, exec::ThreadPool* pool);
 
 }  // namespace jim::core
 

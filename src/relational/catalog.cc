@@ -1,5 +1,7 @@
 #include "relational/catalog.h"
 
+#include "exec/parallel.h"
+
 namespace jim::rel {
 
 Catalog::Catalog(const Catalog& other) {
@@ -72,8 +74,16 @@ util::StatusOr<std::shared_ptr<const EncodedRelation>> Catalog::GetEncoded(
   // Encode outside the lock (it is the expensive part); a racing encoder of
   // the same relation produces an identical mirror and the first insert
   // wins, so concurrent first-use is merely redundant work, never UB.
+  // Large relations encode on the shared pool (codes are bitwise-identical
+  // to serial at any thread count); small ones stay serial so a tiny
+  // catalog never spins the process-wide pool up. Caveat: like any shared
+  // pool use, first-time GetEncoded must not be called from inside a
+  // SharedPool ParallelFor task (nested use of one pool is rejected).
+  exec::ThreadPool* pool = it->second->num_rows() >= kParallelIngestMinRows
+                               ? &exec::SharedPool()
+                               : nullptr;
   auto encoded = std::make_shared<const EncodedRelation>(
-      EncodedRelation::FromRelation(*it->second));
+      EncodedRelation::FromRelation(*it->second, pool));
   std::lock_guard<std::mutex> lock(encoded_mutex_);
   auto [cached, inserted] = encoded_.emplace(name, std::move(encoded));
   return cached->second;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/thread_pool.h"
 #include "util/logging.h"
 
 namespace jim::rel {
@@ -58,12 +59,63 @@ EncodedColumn EncodeColumn(const Relation& relation, size_t column) {
   return encoded;
 }
 
+std::vector<std::vector<uint32_t>> MergeChunkDictionaries(
+    const std::vector<Dictionary>& chunks, Dictionary& target) {
+  std::vector<std::vector<uint32_t>> remaps(chunks.size());
+  for (size_t j = 0; j < chunks.size(); ++j) {
+    remaps[j].resize(chunks[j].size());
+    for (uint32_t local = 0; local < chunks[j].size(); ++local) {
+      // GetOrAdd in chunk order = global first-occurrence order; NaN values
+      // mint one fresh code per chunk-local code, i.e. per occurrence —
+      // exactly the serial discipline.
+      remaps[j][local] = target.GetOrAdd(chunks[j].value(local));
+    }
+  }
+  return remaps;
+}
+
+EncodedColumn EncodeColumn(const Relation& relation, size_t column,
+                           exec::ThreadPool* pool) {
+  if (pool == nullptr || pool->threads() <= 1 ||
+      relation.num_rows() < kParallelIngestMinRows) {
+    return EncodeColumn(relation, column);
+  }
+  JIM_CHECK_LT(column, relation.num_attributes());
+  const size_t rows = relation.num_rows();
+  EncodedColumn encoded;
+  encoded.codes.assign(rows, 0);
+  // Phase 1: each static chunk encodes its contiguous row range into its own
+  // dictionary (codes are chunk-local for now). Chunk assignment depends
+  // only on (rows, threads), so the two ParallelFors below see identical
+  // chunking.
+  std::vector<Dictionary> chunk_dictionaries(pool->threads());
+  pool->ParallelFor(rows, [&](size_t r, size_t chunk) {
+    const Value& value = relation.row(r)[column];
+    encoded.codes[r] = value.is_null()
+                           ? kNullCode
+                           : chunk_dictionaries[chunk].GetOrAdd(value);
+  });
+  // Phase 2 (serial): merge in chunk order. Phase 3: rewrite in parallel.
+  const std::vector<std::vector<uint32_t>> remaps =
+      MergeChunkDictionaries(chunk_dictionaries, encoded.dictionary);
+  pool->ParallelFor(rows, [&](size_t r, size_t chunk) {
+    uint32_t& code = encoded.codes[r];
+    if (code != kNullCode) code = remaps[chunk][code];
+  });
+  return encoded;
+}
+
 EncodedRelation EncodedRelation::FromRelation(const Relation& relation) {
+  return FromRelation(relation, /*pool=*/nullptr);
+}
+
+EncodedRelation EncodedRelation::FromRelation(const Relation& relation,
+                                              exec::ThreadPool* pool) {
   EncodedRelation encoded;
   encoded.num_rows_ = relation.num_rows();
   encoded.columns_.reserve(relation.num_attributes());
   for (size_t c = 0; c < relation.num_attributes(); ++c) {
-    encoded.columns_.push_back(EncodeColumn(relation, c));
+    encoded.columns_.push_back(EncodeColumn(relation, c, pool));
   }
   return encoded;
 }

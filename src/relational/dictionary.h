@@ -9,6 +9,10 @@
 #include "relational/relation.h"
 #include "relational/value.h"
 
+namespace jim::exec {
+class ThreadPool;
+}  // namespace jim::exec
+
 namespace jim::rel {
 
 /// Sentinel code marking NULL in an encoded column. NULL deliberately has no
@@ -68,6 +72,27 @@ struct EncodedColumn {
 /// Encodes one column of `relation`.
 EncodedColumn EncodeColumn(const Relation& relation, size_t column);
 
+/// Rows below this, parallel encoding falls back to the serial path (chunk
+/// bookkeeping would cost more than the hashing it splits).
+inline constexpr size_t kParallelIngestMinRows = 2048;
+
+/// Parallel variant: ParallelFor chunks encode into per-chunk dictionaries,
+/// then a serial in-chunk-order merge (MergeChunkDictionaries) renumbers
+/// into the final first-occurrence code space and a second ParallelFor
+/// rewrites the chunk-local codes. Codes and dictionary order are
+/// bitwise-identical to the serial path at any thread count — including the
+/// fresh-code-per-occurrence NaN discipline — because chunk boundaries
+/// partition the row order and the merge walks chunks in that order.
+/// nullptr / 1-thread pools and small columns take the serial path.
+EncodedColumn EncodeColumn(const Relation& relation, size_t column,
+                           exec::ThreadPool* pool);
+
+/// Folds per-chunk dictionaries (chunk order = row order) into `target` by
+/// first occurrence, returning for each chunk the local → merged code remap.
+/// The deterministic-merge half of every parallel ingest path.
+std::vector<std::vector<uint32_t>> MergeChunkDictionaries(
+    const std::vector<Dictionary>& chunks, Dictionary& target);
+
 /// The columnar, dictionary-encoded mirror of a Relation — built once at
 /// relation load / catalog registration time (see Catalog::GetEncoded) and
 /// shared by every universal table the relation participates in. Codes are
@@ -76,6 +101,13 @@ EncodedColumn EncodeColumn(const Relation& relation, size_t column);
 class EncodedRelation {
  public:
   static EncodedRelation FromRelation(const Relation& relation);
+
+  /// Parallel variant: every column's encode runs through the chunked
+  /// per-thread-dictionary path (see EncodeColumn(…, pool)); the mirror is
+  /// bitwise-identical to the serial one at any thread count. This is what
+  /// Catalog::GetEncoded uses for large relations.
+  static EncodedRelation FromRelation(const Relation& relation,
+                                      exec::ThreadPool* pool);
 
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }

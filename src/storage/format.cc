@@ -1,0 +1,219 @@
+#include "storage/format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace jim::storage {
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+util::Status SyncPath(const std::string& path, bool directory) {
+#if defined(_WIN32)
+  (void)path;
+  (void)directory;
+  return util::OkStatus();
+#else
+  const int fd = ::open(path.c_str(),
+                        directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) {
+    return util::InternalError("cannot open " + path + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return util::InternalError("fsync failed on " + path);
+  return util::OkStatus();
+#endif
+}
+
+util::Status RenameReplacing(const std::string& from, const std::string& to) {
+#if defined(_WIN32)
+  std::remove(to.c_str());
+#endif
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    std::remove(from.c_str());
+    return util::InternalError("cannot rename " + from + " into place");
+  }
+  return util::OkStatus();
+}
+
+util::Status WriteFileAtomicallyWith(
+    const std::string& path,
+    const std::function<util::Status(std::ostream&)>& write) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return util::InternalError("cannot open " + tmp_path + " for writing");
+    }
+    util::Status written = write(out);
+    if (written.ok()) {
+      out.flush();
+      if (!out.good()) {
+        written = util::InternalError("write to " + tmp_path + " failed");
+      }
+    }
+    if (!written.ok()) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return written;
+    }
+  }
+  {
+    // Data blocks must hit stable storage before the rename is journaled,
+    // or a power cut could leave the final name pointing at garbage with
+    // the previous good file already gone.
+    const util::Status synced = SyncPath(tmp_path, /*directory=*/false);
+    if (!synced.ok()) {
+      std::remove(tmp_path.c_str());
+      return synced;
+    }
+  }
+  RETURN_IF_ERROR(RenameReplacing(tmp_path, path));
+  // Persist the rename itself (the directory entry).
+  const size_t slash = path.find_last_of('/');
+  return SyncPath(slash == std::string::npos ? "." : path.substr(0, slash),
+                  /*directory=*/true);
+}
+
+util::Status WriteFileAtomically(const std::string& path,
+                                 const std::string& contents) {
+  return WriteFileAtomicallyWith(path, [&contents](std::ostream& out) {
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    return util::OkStatus();
+  });
+}
+
+void AppendU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void AppendDouble(std::string& out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendLengthPrefixed(std::string& out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+void AppendValueRecord(std::string& out, const rel::Value& value) {
+  switch (value.type()) {
+    case rel::ValueType::kInt64:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kInt64));
+      AppendU64(out, static_cast<uint64_t>(value.AsInt64()));
+      return;
+    case rel::ValueType::kDouble:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kDouble));
+      AppendDouble(out, value.AsDouble());
+      return;
+    case rel::ValueType::kString:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kString));
+      AppendLengthPrefixed(out, value.AsString());
+      return;
+    case rel::ValueType::kNull:
+      break;
+  }
+  // NULL cells are the kNullCode sentinel in the code arrays; they never
+  // reach a dictionary page. Reaching here is a writer bug, not bad input.
+  std::abort();
+}
+
+util::Status ByteReader::Truncated(const char* what, size_t need) {
+  return util::InvalidArgumentError(util::StrFormat(
+      "%s: truncated %s at offset %zu (need %zu bytes, have %zu)",
+      context_.c_str(), what, pos_, need, remaining()));
+}
+
+util::StatusOr<uint8_t> ByteReader::ReadU8() {
+  if (remaining() < 1) return Truncated("u8", 1);
+  return data_[pos_++];
+}
+
+util::StatusOr<uint32_t> ByteReader::ReadU32() {
+  if (remaining() < 4) return Truncated("u32", 4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+util::StatusOr<uint64_t> ByteReader::ReadU64() {
+  if (remaining() < 8) return Truncated("u64", 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+util::StatusOr<double> ByteReader::ReadDouble() {
+  ASSIGN_OR_RETURN(const uint64_t bits, ReadU64());
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+util::StatusOr<std::string> ByteReader::ReadLengthPrefixed() {
+  ASSIGN_OR_RETURN(const uint32_t length, ReadU32());
+  if (remaining() < length) return Truncated("string payload", length);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), length);
+  pos_ += length;
+  return s;
+}
+
+util::StatusOr<rel::Value> ByteReader::ReadValueRecord() {
+  ASSIGN_OR_RETURN(const uint8_t tag, ReadU8());
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::kInt64: {
+      ASSIGN_OR_RETURN(const uint64_t bits, ReadU64());
+      return rel::Value(static_cast<int64_t>(bits));
+    }
+    case ValueTag::kDouble: {
+      ASSIGN_OR_RETURN(const double v, ReadDouble());
+      return rel::Value(v);
+    }
+    case ValueTag::kString: {
+      ASSIGN_OR_RETURN(std::string s, ReadLengthPrefixed());
+      return rel::Value(std::move(s));
+    }
+  }
+  return util::InvalidArgumentError(util::StrFormat(
+      "%s: unknown value tag %u at offset %zu", context_.c_str(),
+      unsigned{tag}, pos_ - 1));
+}
+
+}  // namespace jim::storage

@@ -1,0 +1,140 @@
+#ifndef JIM_STORAGE_FORMAT_H_
+#define JIM_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace jim::storage {
+
+/// The JIMC on-disk columnar tuple-store format, version 1.
+///
+/// A JIMC file is the persistent form of a core::TupleStore: everything the
+/// engine needs to serve `code()` / `TupleCodes()` straight out of an mmap
+/// and to decode `Value`s lazily, and nothing else. All integers are
+/// little-endian regardless of host; doubles are their IEEE-754 bit pattern
+/// (NaN payloads survive a round trip).
+///
+///   ┌──────────────────────────────────────────────────────────────┐
+///   │ header (48 B): magic "JIMC", version, num_tuples,            │
+///   │   num_attributes, num_sections, shared_dict_size, file_bytes │
+///   ├──────────────────────────────────────────────────────────────┤
+///   │ section table: num_sections × {id, column, offset, length,   │
+///   │   checksum}  (offsets 8-byte aligned, FNV-1a 64 per section) │
+///   ├──────────────────────────────────────────────────────────────┤
+///   │ NAME    store name                                           │
+///   │ SCHEMA  attributes: type, name, qualifier                    │
+///   │ DICT a  per-column dictionary page, one per attribute:       │
+///   │   entries in local-code order, each {shared_code (the remap  │
+///   │   into the file's shared dictionary), value record}          │
+///   │ CODES a per-column code array, one per attribute:            │
+///   │   num_tuples × u32 *shared* codes (kNullCode for NULL)       │
+///   └──────────────────────────────────────────────────────────────┘
+///
+/// Code arrays hold codes in the file's *shared* dictionary space — a dense
+/// renumbering (first occurrence wins, row-major scan order) of the source
+/// store's codes — so within one file, code equality across any two cells of
+/// any two columns is exactly strict Value equality (NaN occurrences keep
+/// their distinct codes; NULL is the kNullCode sentinel and never equal).
+/// The per-column dictionary pages exist so a reader can decode lazily with
+/// column locality, and their shared-code remap column is what lets
+/// ShardedTupleStore splice several files' code spaces into one.
+inline constexpr uint32_t kMagic = 0x434D494Au;  // "JIMC" little-endian
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kHeaderBytes = 48;
+inline constexpr size_t kSectionEntryBytes = 32;
+/// Section payload offsets are aligned to this (so u32 code arrays can be
+/// served by pointer straight from the mapping).
+inline constexpr size_t kSectionAlignment = 8;
+
+/// Section ids. DICT/CODES sections additionally carry the column index;
+/// the others use kNoColumn.
+enum class SectionId : uint32_t {
+  kName = 1,
+  kSchema = 2,
+  kDictionary = 3,
+  kCodes = 4,
+};
+inline constexpr uint32_t kNoColumn = 0xFFFFFFFFu;
+
+/// Value-record type tags (NULL never appears in a dictionary page).
+enum class ValueTag : uint8_t { kInt64 = 1, kDouble = 2, kString = 3 };
+
+/// FNV-1a 64-bit over `size` bytes — the per-section checksum.
+///
+/// Deliberately NOT delegated to util::Fnv1a64 (which today happens to be
+/// byte-identical over uint8_t ranges): that one is a general-purpose
+/// in-memory hash free to evolve, while this one is pinned by every JIMC
+/// file ever written. Do not merge them.
+uint64_t Fnv1a64(const void* data, size_t size);
+
+/// fsyncs a file (or, with `directory` set, a directory entry) to stable
+/// storage. No-op where fsync is unavailable.
+util::Status SyncPath(const std::string& path, bool directory);
+
+/// Renames `from` over `to`, replacing an existing target. Atomic on POSIX;
+/// on Windows (where std::rename refuses to replace) the old target is
+/// removed first, narrowing but not closing the window. On failure `from`
+/// is cleaned up.
+util::Status RenameReplacing(const std::string& from, const std::string& to);
+
+/// The atomic-persist recipe, shared by StoreWriter and the manifest
+/// writer so the crash-safety-critical sequencing lives in exactly one
+/// place: `write` streams the bytes into `path`.tmp, which is then
+/// flushed, fsync'd, renamed over the target, and the parent directory
+/// entry fsync'd — a crash never leaves a half-written or lost file under
+/// the final name. Any failure (from `write` or the stream) cleans the
+/// tmp file up and is returned.
+util::Status WriteFileAtomicallyWith(
+    const std::string& path,
+    const std::function<util::Status(std::ostream&)>& write);
+
+/// Convenience wrapper for small fully-resident files (catalog manifests).
+util::Status WriteFileAtomically(const std::string& path,
+                                 const std::string& contents);
+
+/// Little-endian append helpers (host-endianness independent).
+void AppendU8(std::string& out, uint8_t v);
+void AppendU32(std::string& out, uint32_t v);
+void AppendU64(std::string& out, uint64_t v);
+void AppendDouble(std::string& out, double v);
+void AppendLengthPrefixed(std::string& out, std::string_view s);
+/// Serializes one non-NULL value record (ValueTag + payload).
+void AppendValueRecord(std::string& out, const rel::Value& value);
+
+/// Bounds-checked little-endian reader over a byte range. Every Read*
+/// advances the cursor; failures report the reading context so corruption
+/// errors name the section that tripped them.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size, std::string context)
+      : data_(data), size_(size), context_(std::move(context)) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  util::StatusOr<uint8_t> ReadU8();
+  util::StatusOr<uint32_t> ReadU32();
+  util::StatusOr<uint64_t> ReadU64();
+  util::StatusOr<double> ReadDouble();
+  /// u32 length + that many bytes.
+  util::StatusOr<std::string> ReadLengthPrefixed();
+  /// One value record (ValueTag + payload).
+  util::StatusOr<rel::Value> ReadValueRecord();
+
+ private:
+  util::Status Truncated(const char* what, size_t need);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace jim::storage
+
+#endif  // JIM_STORAGE_FORMAT_H_

@@ -1,0 +1,158 @@
+#include "storage/sharded_store.h"
+
+#include <algorithm>
+
+#include "exec/thread_pool.h"
+#include "relational/dictionary.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jim::storage {
+
+namespace {
+
+/// Distinct codes of one shard in first-occurrence scan order (row-major,
+/// the same order any reader of the shard would discover them), each paired
+/// with one decoded Value. Deterministic per shard, so the per-shard scans
+/// can run concurrently while the composite dictionary is still built by a
+/// serial in-order merge.
+struct ShardDistinct {
+  std::vector<uint32_t> codes;
+  std::vector<rel::Value> values;
+  uint32_t max_code = 0;
+};
+
+ShardDistinct ScanShard(const core::TupleStore& shard) {
+  ShardDistinct distinct;
+  std::unordered_map<uint32_t, uint32_t> seen;
+  const size_t columns = shard.num_attributes();
+  std::vector<uint32_t> row(columns);
+  for (size_t t = 0; t < shard.num_tuples(); ++t) {
+    shard.TupleCodes(t, row.data());
+    for (size_t a = 0; a < columns; ++a) {
+      const uint32_t code = row[a];
+      if (code == rel::kNullCode) continue;
+      if (seen.emplace(code, 0).second) {
+        distinct.codes.push_back(code);
+        distinct.values.push_back(shard.DecodeValue(t, a));
+        distinct.max_code = std::max(distinct.max_code, code);
+      }
+    }
+  }
+  return distinct;
+}
+
+}  // namespace
+
+util::StatusOr<std::shared_ptr<const ShardedTupleStore>>
+ShardedTupleStore::Create(
+    std::string name,
+    std::vector<std::shared_ptr<const core::TupleStore>> shards,
+    exec::ThreadPool* pool) {
+  if (shards.empty()) {
+    return util::InvalidArgumentError(
+        "ShardedTupleStore needs at least one shard");
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s] == nullptr) {
+      return util::InvalidArgumentError(
+          util::StrFormat("ShardedTupleStore: shard %zu is null", s));
+    }
+    if (!(shards[s]->schema() == shards[0]->schema())) {
+      return util::InvalidArgumentError(util::StrFormat(
+          "ShardedTupleStore: shard %zu ('%s') disagrees with shard 0 "
+          "('%s') on the schema", s, shards[s]->name().c_str(),
+          shards[0]->name().c_str()));
+    }
+  }
+
+  std::shared_ptr<ShardedTupleStore> store(new ShardedTupleStore());
+  store->name_ = std::move(name);
+  store->shards_ = std::move(shards);
+  store->offsets_.reserve(store->shards_.size() + 1);
+  store->offsets_.push_back(0);
+  for (const auto& shard : store->shards_) {
+    store->offsets_.push_back(store->offsets_.back() + shard->num_tuples());
+  }
+
+  // Phase 1 — per-shard distinct scan, embarrassingly parallel (each shard's
+  // result depends only on that shard).
+  std::vector<ShardDistinct> distinct(store->shards_.size());
+  if (pool != nullptr && pool->threads() > 1 && store->shards_.size() > 1) {
+    pool->ParallelFor(store->shards_.size(), [&](size_t s, size_t) {
+      distinct[s] = ScanShard(*store->shards_[s]);
+    });
+  } else {
+    for (size_t s = 0; s < store->shards_.size(); ++s) {
+      distinct[s] = ScanShard(*store->shards_[s]);
+    }
+  }
+
+  // Phase 2 — serial merge in shard order: composite codes are assigned by
+  // first occurrence across (shard, scan order), so two shard codes collide
+  // exactly when their Values are strictly equal (Dictionary::GetOrAdd mints
+  // a fresh code per NaN, which is precisely NaN ≠ NaN).
+  rel::Dictionary composite;
+  store->remaps_.resize(store->shards_.size());
+  for (size_t s = 0; s < store->shards_.size(); ++s) {
+    const ShardDistinct& shard = distinct[s];
+    CodeRemap& remap = store->remaps_[s];
+    // Dense remap unless the shard's code space is pathologically sparse
+    // (codes are dictionary-dense in every store this repo produces).
+    const size_t dense_slots =
+        shard.codes.empty() ? 0 : static_cast<size_t>(shard.max_code) + 1;
+    remap.use_dense = dense_slots <= 4 * shard.codes.size() + 1024;
+    if (remap.use_dense) {
+      remap.dense.assign(dense_slots, rel::kNullCode);
+    }
+    for (size_t i = 0; i < shard.codes.size(); ++i) {
+      const uint32_t composite_code = composite.GetOrAdd(shard.values[i]);
+      if (remap.use_dense) {
+        remap.dense[shard.codes[i]] = composite_code;
+      } else {
+        remap.sparse.emplace(shard.codes[i], composite_code);
+      }
+    }
+  }
+  store->composite_dict_size_ = composite.size();
+  return std::shared_ptr<const ShardedTupleStore>(std::move(store));
+}
+
+std::pair<size_t, size_t> ShardedTupleStore::Locate(size_t t) const {
+  JIM_CHECK_LT(t, num_tuples());
+  // First shard whose end exceeds t (upper_bound over the cumulative
+  // counts); empty shards are skipped naturally.
+  const auto it = std::upper_bound(offsets_.begin() + 1, offsets_.end(), t);
+  const size_t s = static_cast<size_t>(it - (offsets_.begin() + 1));
+  return {s, t - offsets_[s]};
+}
+
+uint32_t ShardedTupleStore::code(size_t t, size_t a) const {
+  const auto [s, local_t] = Locate(t);
+  const uint32_t local = shards_[s]->code(local_t, a);
+  return local == rel::kNullCode ? rel::kNullCode : remaps_[s].Map(local);
+}
+
+void ShardedTupleStore::TupleCodes(size_t t, uint32_t* out) const {
+  const auto [s, local_t] = Locate(t);
+  shards_[s]->TupleCodes(local_t, out);
+  const CodeRemap& remap = remaps_[s];
+  const size_t columns = num_attributes();
+  for (size_t a = 0; a < columns; ++a) {
+    if (out[a] != rel::kNullCode) out[a] = remap.Map(out[a]);
+  }
+}
+
+rel::Value ShardedTupleStore::DecodeValue(size_t t, size_t a) const {
+  const auto [s, local_t] = Locate(t);
+  return shards_[s]->DecodeValue(local_t, a);
+}
+
+size_t ShardedTupleStore::ApproxBytes() const {
+  size_t bytes = offsets_.capacity() * sizeof(size_t);
+  for (const CodeRemap& remap : remaps_) bytes += remap.ApproxBytes();
+  for (const auto& shard : shards_) bytes += shard->ApproxBytes();
+  return bytes;
+}
+
+}  // namespace jim::storage

@@ -1,0 +1,99 @@
+#ifndef JIM_STORAGE_SHARDED_STORE_H_
+#define JIM_STORAGE_SHARDED_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/tuple_store.h"
+#include "util/status.h"
+
+namespace jim::exec {
+class ThreadPool;
+}  // namespace jim::exec
+
+namespace jim::storage {
+
+/// Composes N TupleStores with one common schema into a single logical
+/// store: tuple ids are routed by prefix sum (shard boundaries are exactly
+/// the chunk boundaries the engine's ParallelFor class construction likes),
+/// and every shard's code space is remapped into one composite shared
+/// dictionary so the TupleStore contract — code equality ⇔ strict Value
+/// equality, across shards included — keeps holding. Shards stay behind
+/// shared_ptr and are typically MappedTupleStores over the per-shard files a
+/// StoreWriter slice pass produced, but any mix of backends with equal
+/// schemas composes.
+///
+/// The remap is built at Create time: each shard is scanned once for its
+/// distinct codes (parallelizable across shards — the scan order within a
+/// shard is deterministic), each distinct code's Value is decoded once, and
+/// a serial merge in shard order folds them into the composite dictionary.
+/// Costs O(Σ tuples·attrs) integer reads + O(distinct values) decodes; no
+/// tuple Values ever materialize. NaN values keep one composite code per
+/// distinct shard code (never equal to anything, matching NaN ≠ NaN), and
+/// NULL routes through untouched.
+class ShardedTupleStore final : public core::TupleStore {
+ public:
+  /// Builds the composition. Errors if `shards` is empty or the schemas
+  /// disagree. `pool` parallelizes the per-shard distinct-code scan
+  /// (nullptr = serial); the result is bitwise-identical either way.
+  static util::StatusOr<std::shared_ptr<const ShardedTupleStore>> Create(
+      std::string name,
+      std::vector<std::shared_ptr<const core::TupleStore>> shards,
+      exec::ThreadPool* pool = nullptr);
+
+  const std::string& name() const override { return name_; }
+  const rel::Schema& schema() const override { return shards_[0]->schema(); }
+  size_t num_tuples() const override { return offsets_.back(); }
+  uint32_t code(size_t t, size_t a) const override;
+  void TupleCodes(size_t t, uint32_t* out) const override;
+  rel::Value DecodeValue(size_t t, size_t a) const override;
+  size_t ApproxBytes() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+  const std::shared_ptr<const core::TupleStore>& shard(size_t s) const {
+    return shards_[s];
+  }
+  /// Cumulative tuple counts: shard s owns global ids
+  /// [offsets()[s], offsets()[s+1]). Size num_shards() + 1.
+  const std::vector<size_t>& offsets() const { return offsets_; }
+  /// (shard, tuple id within that shard) of global tuple `t`.
+  std::pair<size_t, size_t> Locate(size_t t) const;
+  /// Distinct non-NULL values across all shards after unification.
+  size_t composite_dictionary_size() const { return composite_dict_size_; }
+
+ private:
+  /// Shard-local shared code → composite code. Dense array when the shard's
+  /// code space is dense (every store this repo writes), hash fallback so an
+  /// exotic backend with sparse codes cannot blow up memory.
+  struct CodeRemap {
+    std::vector<uint32_t> dense;  // kNullCode marks unused slots
+    std::unordered_map<uint32_t, uint32_t> sparse;
+    bool use_dense = true;
+
+    uint32_t Map(uint32_t local) const {
+      if (use_dense) return dense[local];
+      const auto it = sparse.find(local);
+      return it->second;
+    }
+    size_t ApproxBytes() const {
+      return dense.capacity() * sizeof(uint32_t) +
+             sparse.size() * (2 * sizeof(uint32_t) + 2 * sizeof(void*));
+    }
+  };
+
+  ShardedTupleStore() = default;
+
+  std::string name_;
+  std::vector<std::shared_ptr<const core::TupleStore>> shards_;
+  std::vector<size_t> offsets_;
+  std::vector<CodeRemap> remaps_;
+  size_t composite_dict_size_ = 0;
+};
+
+}  // namespace jim::storage
+
+#endif  // JIM_STORAGE_SHARDED_STORE_H_

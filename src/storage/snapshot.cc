@@ -1,0 +1,286 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <string_view>
+#include <utility>
+
+#include "storage/format.h"
+#include "storage/mapped_store.h"
+#include "storage/store_writer.h"
+#include "util/string_util.h"
+
+namespace jim::storage {
+
+namespace {
+
+/// Relation names are map keys, not file names; strip anything a filesystem
+/// could object to, stamp the save generation in, and disambiguate
+/// collisions with a numeric suffix. Collisions are detected
+/// case-insensitively, so "Flights" and "flights" land in distinct files
+/// even on case-insensitive filesystems (macOS/Windows), where they would
+/// otherwise silently overwrite each other.
+std::string SanitizeFileName(const std::string& name, size_t generation,
+                             std::set<std::string>& taken) {
+  std::string base;
+  for (const char c : name) {
+    base.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  if (base.empty()) base = "relation";
+  const auto fold = [](const std::string& s) {
+    std::string lower;
+    for (const char c : s) {
+      lower.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+    return lower;
+  };
+  const std::string suffix = ".g" + std::to_string(generation) + ".jimc";
+  std::string candidate = base + suffix;
+  for (size_t i = 2; !taken.insert(fold(candidate)).second; ++i) {
+    candidate = base + "_" + std::to_string(i) + suffix;
+  }
+  return candidate;
+}
+
+/// File names under `dir`, with std::filesystem's exceptions (thrown by
+/// mid-iteration readdir failures, which the error_code constructor does
+/// not cover) converted to the Status this module's callers consume.
+util::StatusOr<std::vector<std::string>> ListDirectory(
+    const std::string& dir) {
+  std::vector<std::string> files;
+  try {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      files.push_back(entry.path().filename().string());
+    }
+    if (ec) {
+      return util::InternalError(util::StrFormat(
+          "cannot list %s: %s", dir.c_str(), ec.message().c_str()));
+    }
+  } catch (const std::filesystem::filesystem_error& error) {
+    return util::InternalError(util::StrFormat(
+        "cannot list %s: %s", dir.c_str(), error.what()));
+  }
+  return files;
+}
+
+/// Save generation embedded in "<base>.g<digits>.jimc", or nullopt.
+std::optional<size_t> ParseGeneration(const std::string& file) {
+  constexpr std::string_view kExtension = ".jimc";
+  if (file.size() <= kExtension.size() ||
+      file.compare(file.size() - kExtension.size(), kExtension.size(),
+                   kExtension.data()) != 0) {
+    return std::nullopt;
+  }
+  const std::string stem = file.substr(0, file.size() - kExtension.size());
+  const size_t dot = stem.rfind(".g");
+  if (dot == std::string::npos || dot + 2 >= stem.size()) return std::nullopt;
+  size_t generation = 0;
+  for (size_t i = dot + 2; i < stem.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(stem[i]))) {
+      return std::nullopt;
+    }
+    generation = generation * 10 + static_cast<size_t>(stem[i] - '0');
+  }
+  return generation;
+}
+
+/// Manifest lines are "<name>\t<file>\n"; names are arbitrary strings, so
+/// backslash-escape the three bytes that would corrupt the framing.
+std::string EscapeManifestField(const std::string& field) {
+  std::string escaped;
+  escaped.reserve(field.size());
+  for (const char c : field) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      default:
+        escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
+util::StatusOr<std::string> UnescapeManifestField(const std::string& field) {
+  std::string raw;
+  raw.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\') {
+      raw.push_back(field[i]);
+      continue;
+    }
+    if (i + 1 >= field.size()) {
+      return util::InvalidArgumentError(
+          "manifest field ends mid-escape: " + field);
+    }
+    switch (field[++i]) {
+      case '\\':
+        raw.push_back('\\');
+        break;
+      case 't':
+        raw.push_back('\t');
+        break;
+      case 'n':
+        raw.push_back('\n');
+        break;
+      case 'r':
+        raw.push_back('\r');
+        break;
+      default:
+        return util::InvalidArgumentError(
+            "unknown manifest escape in: " + field);
+    }
+  }
+  return raw;
+}
+
+}  // namespace
+
+util::Status SaveCatalog(const rel::Catalog& catalog, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::InternalError(util::StrFormat(
+        "SaveCatalog: cannot create %s: %s", dir.c_str(),
+        ec.message().c_str()));
+  }
+  // Relation files carry a per-save generation stamp, so a re-save never
+  // overwrites the files the *current* manifest references: new-generation
+  // files land first, the manifest swings over atomically, and only then
+  // are the superseded generations collected. A crash anywhere in between
+  // leaves either the complete old snapshot or the complete new one —
+  // never a mix of versions.
+  size_t generation = 0;
+  {
+    // A failed listing would restart the generation counter and make the
+    // writes below clobber the files the live manifest references — the
+    // exact mixed-snapshot state the generations exist to rule out — so it
+    // aborts the save.
+    ASSIGN_OR_RETURN(const std::vector<std::string> existing_files,
+                     ListDirectory(dir));
+    for (const std::string& file : existing_files) {
+      const auto existing = ParseGeneration(file);
+      if (existing.has_value()) {
+        generation = std::max(generation, *existing);
+      }
+    }
+  }
+  ++generation;
+
+  std::string manifest;
+  std::set<std::string> taken;
+  std::set<std::string> referenced;
+  for (const std::string& name : catalog.Names()) {
+    ASSIGN_OR_RETURN(const auto relation, catalog.GetShared(name));
+    const std::string file = SanitizeFileName(name, generation, taken);
+    const auto store = core::MakeRelationStore(relation);
+    RETURN_IF_ERROR(
+        WriteStore(*store, (std::filesystem::path(dir) / file).string()));
+    manifest += EscapeManifestField(name) + "\t" + file + "\n";
+    referenced.insert(file);
+  }
+  // The manifest swing is what makes the new snapshot visible — atomic and
+  // durable, so a crash mid-save can never truncate or mix an existing
+  // snapshot.
+  RETURN_IF_ERROR(WriteFileAtomically(
+      (std::filesystem::path(dir) / kCatalogManifest).string(), manifest));
+  // Best-effort GC of superseded generations (the snapshot is already
+  // durable, so a listing failure or crash here just leaves orphans for the
+  // next save to collect).
+  const auto gc_files = ListDirectory(dir);
+  if (gc_files.ok()) {
+    constexpr std::string_view kTmpSuffix = ".tmp";
+    for (const std::string& file : *gc_files) {
+      // Superseded generations, plus staging files a crashed earlier save
+      // left behind (this save's own renames all completed, so any .tmp
+      // here is an orphan).
+      std::string stem = file;
+      if (stem.size() > kTmpSuffix.size() &&
+          stem.compare(stem.size() - kTmpSuffix.size(), kTmpSuffix.size(),
+                       kTmpSuffix.data()) == 0) {
+        stem.resize(stem.size() - kTmpSuffix.size());
+      }
+      const bool stale_tmp = stem.size() < file.size() &&
+                             (ParseGeneration(stem).has_value() ||
+                              stem == kCatalogManifest);
+      const bool superseded = stem.size() == file.size() &&
+                              ParseGeneration(file).has_value() &&
+                              referenced.count(file) == 0;
+      if (stale_tmp || superseded) {
+        std::error_code remove_ec;
+        std::filesystem::remove(std::filesystem::path(dir) / file,
+                                remove_ec);
+      }
+    }
+  }
+  return util::OkStatus();
+}
+
+util::StatusOr<rel::Catalog> LoadCatalog(const std::string& dir) {
+  const std::string manifest_path =
+      (std::filesystem::path(dir) / kCatalogManifest).string();
+  std::ifstream in(manifest_path);
+  if (!in) {
+    return util::NotFoundError(
+        util::StrFormat("LoadCatalog: no %s under %s", kCatalogManifest,
+                        dir.c_str()));
+  }
+  rel::Catalog catalog;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0 || tab + 1 >= line.size()) {
+      return util::InvalidArgumentError(util::StrFormat(
+          "LoadCatalog: malformed manifest line %zu in %s", line_number,
+          manifest_path.c_str()));
+    }
+    ASSIGN_OR_RETURN(const std::string name,
+                     UnescapeManifestField(line.substr(0, tab)));
+    const std::string file = line.substr(tab + 1);
+    // SaveCatalog only ever emits bare sanitized file names; a separator
+    // here is a crafted or corrupt manifest trying to read outside the
+    // snapshot directory.
+    if (file.find('/') != std::string::npos ||
+        file.find('\\') != std::string::npos) {
+      return util::InvalidArgumentError(util::StrFormat(
+          "LoadCatalog: manifest line %zu names a file outside the "
+          "snapshot directory: %s", line_number, file.c_str()));
+    }
+    ASSIGN_OR_RETURN(
+        const auto store,
+        OpenStore((std::filesystem::path(dir) / file).string()));
+    rel::Relation relation = MaterializeStore(*store);
+    relation.set_name(name);
+    RETURN_IF_ERROR(catalog.Add(std::move(relation)));
+  }
+  return catalog;
+}
+
+rel::Relation MaterializeStore(const core::TupleStore& store) {
+  rel::Relation relation{store.name(), store.schema()};
+  relation.Reserve(store.num_tuples());
+  for (size_t t = 0; t < store.num_tuples(); ++t) {
+    relation.AddRowUnchecked(store.DecodeTuple(t));
+  }
+  return relation;
+}
+
+}  // namespace jim::storage

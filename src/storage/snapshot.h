@@ -1,0 +1,46 @@
+#ifndef JIM_STORAGE_SNAPSHOT_H_
+#define JIM_STORAGE_SNAPSHOT_H_
+
+#include <string>
+
+#include "core/tuple_store.h"
+#include "relational/catalog.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace jim::storage {
+
+/// On-disk catalog snapshots: one JIMC file per relation plus a manifest, so
+/// a whole instance (the relations a session's universal tables are built
+/// from) outlives the process and reopens without re-parsing CSVs or
+/// re-encoding dictionaries.
+///
+/// Layout under `dir`:
+///   catalog.jimm   manifest: "<escaped relation name>\t<file name>" lines
+///   <sanitized name>.g<generation>.jimc   one columnar store per relation
+///
+/// Re-saving writes a fresh generation of relation files, swings the
+/// manifest atomically, then garbage-collects superseded generations — a
+/// crash at any point leaves a loadable all-old or all-new snapshot, never
+/// a mix.
+inline constexpr const char* kCatalogManifest = "catalog.jimm";
+
+/// Writes every relation of `catalog` into `dir` (created if missing). Each
+/// relation is persisted through its dictionary-encoded RelationTupleStore
+/// wrap, so what lands on disk is codes + dictionary pages, not CSV text.
+util::Status SaveCatalog(const rel::Catalog& catalog, const std::string& dir);
+
+/// Reopens a SaveCatalog snapshot into a fresh catalog. Relations are
+/// decoded out of their mapped stores (catalog relations are the *sources* —
+/// typically orders of magnitude smaller than the universal tables built
+/// over them, which stay mapped and are never materialized).
+util::StatusOr<rel::Catalog> LoadCatalog(const std::string& dir);
+
+/// Decodes every tuple of `store` into a materialized Relation (the O(N·n)
+/// representation mapped stores exist to avoid — for export, small
+/// instances, and the selection-inference path that still wants Value rows).
+rel::Relation MaterializeStore(const core::TupleStore& store);
+
+}  // namespace jim::storage
+
+#endif  // JIM_STORAGE_SNAPSHOT_H_

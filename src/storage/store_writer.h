@@ -1,0 +1,43 @@
+#ifndef JIM_STORAGE_STORE_WRITER_H_
+#define JIM_STORAGE_STORE_WRITER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/tuple_store.h"
+#include "util/status.h"
+
+namespace jim::storage {
+
+/// Options for WriteStore.
+struct StoreWriterOptions {
+  /// First tuple of the slice to persist.
+  size_t first_tuple = 0;
+  /// Tuple count of the slice; SIZE_MAX means "to the end". Slices are how a
+  /// store gets split into the per-shard files a ShardedTupleStore reopens.
+  size_t num_tuples = static_cast<size_t>(-1);
+  /// Overrides the persisted store name (empty keeps store.name()).
+  std::string name;
+};
+
+/// Serializes `store` (any TupleStore — in-memory, factorized, mapped) into
+/// a JIMC file at `path`, atomically: the bytes are staged in `path`.tmp and
+/// renamed over the target only after a successful flush, so a crashed or
+/// failed write never leaves a half-written file under the final name.
+///
+/// The file's shared-dictionary code space is a dense renumbering of the
+/// codes the slice actually uses (first occurrence wins, row-major scan
+/// order), so the file is self-contained: equality structure — the only
+/// thing the inference engine consumes — is preserved exactly, including
+/// NULL sentinels and the one-fresh-code-per-occurrence NaN discipline.
+/// Values are decoded from the source store once per distinct code.
+///
+/// Writer memory is O(distinct codes + num_tuples × num_attributes × 4 B)
+/// (the code matrix is staged columnar before writing); the *reader* side is
+/// the memory-scalable one.
+util::Status WriteStore(const core::TupleStore& store, const std::string& path,
+                        const StoreWriterOptions& options = {});
+
+}  // namespace jim::storage
+
+#endif  // JIM_STORAGE_STORE_WRITER_H_

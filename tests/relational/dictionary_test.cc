@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "exec/thread_pool.h"
+#include "relational/catalog.h"
 #include "relational/relation.h"
 #include "relational/schema.h"
 
@@ -113,6 +118,110 @@ TEST(EncodedRelationTest, ColumnDictionariesAreIndependent) {
             "x");
   EXPECT_EQ(encoded.column(1).dictionary.value(encoded.code(2, 1)).AsString(),
             "x");
+}
+
+/// A column big enough to cross the parallel-ingest threshold, mixing
+/// duplicates, NULLs, NaNs (fresh code per occurrence), and type collisions
+/// — everything whose code assignment depends on scan order.
+Relation WideMixedRelation(size_t rows) {
+  Relation relation{"wide", Schema::FromNames({"a"})};
+  for (size_t r = 0; r < rows; ++r) {
+    switch (r % 7) {
+      case 0:
+        relation.AddRowUnchecked({Value(static_cast<int64_t>(r % 31))});
+        break;
+      case 1:
+        relation.AddRowUnchecked({Value("s" + std::to_string(r % 13))});
+        break;
+      case 2:
+        relation.AddRowUnchecked({Value::Null()});
+        break;
+      case 3:
+        relation.AddRowUnchecked({Value(std::nan(""))});
+        break;
+      case 4:
+        relation.AddRowUnchecked({Value(static_cast<double>(r % 11))});
+        break;
+      case 5:
+        relation.AddRowUnchecked({Value(std::to_string(r % 31))});
+        break;
+      default:
+        relation.AddRowUnchecked({Value(int64_t{-7})});
+        break;
+    }
+  }
+  return relation;
+}
+
+TEST(ParallelEncodeTest, CodesBitwiseIdenticalToSerialAtAnyThreadCount) {
+  const Relation relation = WideMixedRelation(6000);
+  const EncodedColumn serial = EncodeColumn(relation, 0);
+  for (const size_t threads : {2u, 3u, 8u}) {
+    exec::ThreadPool pool(threads);
+    const EncodedColumn parallel = EncodeColumn(relation, 0, &pool);
+    ASSERT_EQ(parallel.codes, serial.codes) << threads << " threads";
+    ASSERT_EQ(parallel.dictionary.size(), serial.dictionary.size());
+    for (uint32_t code = 0; code < serial.dictionary.size(); ++code) {
+      // Same value behind every code, NaN payloads included (compare the
+      // rendering: NaN never Equals itself).
+      EXPECT_EQ(parallel.dictionary.value(code).ToString(),
+                serial.dictionary.value(code).ToString())
+          << "code " << code << " at " << threads << " threads";
+      EXPECT_EQ(parallel.dictionary.value(code).type(),
+                serial.dictionary.value(code).type());
+    }
+  }
+}
+
+TEST(ParallelEncodeTest, NullPoolAndSmallColumnsTakeTheSerialPath) {
+  const Relation relation = WideMixedRelation(100);  // below the threshold
+  const EncodedColumn serial = EncodeColumn(relation, 0);
+  exec::ThreadPool pool(4);
+  const EncodedColumn small = EncodeColumn(relation, 0, &pool);
+  EXPECT_EQ(small.codes, serial.codes);
+  const EncodedColumn no_pool = EncodeColumn(relation, 0, nullptr);
+  EXPECT_EQ(no_pool.codes, serial.codes);
+}
+
+TEST(ParallelEncodeTest, ConcurrentCatalogEncodesOnTheSharedPoolAreSafe) {
+  // Catalog::GetEncoded dispatches large relations to the process-wide
+  // SharedPool; several threads hitting the first (uncached) encode at once
+  // must be race-free and agree bitwise with the serial encode. This is the
+  // scenario the TSAN stage exists for.
+  Relation big = WideMixedRelation(6000);
+  big.set_name("big");
+  const EncodedColumn serial = EncodeColumn(big, 0);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Add(std::move(big)).ok());
+  std::vector<std::shared_ptr<const EncodedRelation>> results(4);
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&catalog, &results, i] {
+      results[i] = catalog.GetEncoded("big").value();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const auto& encoded : results) {
+    ASSERT_NE(encoded, nullptr);
+    ASSERT_EQ(encoded->column(0).codes, serial.codes);
+  }
+}
+
+TEST(ParallelEncodeTest, MergeChunkDictionariesKeepsFirstOccurrenceOrder) {
+  std::vector<Dictionary> chunks(2);
+  chunks[0].GetOrAdd(Value("b"));
+  chunks[0].GetOrAdd(Value("a"));
+  chunks[1].GetOrAdd(Value("a"));
+  chunks[1].GetOrAdd(Value("c"));
+  Dictionary target;
+  const auto remaps = MergeChunkDictionaries(chunks, target);
+  ASSERT_EQ(target.size(), 3u);
+  EXPECT_EQ(target.value(0).AsString(), "b");
+  EXPECT_EQ(target.value(1).AsString(), "a");
+  EXPECT_EQ(target.value(2).AsString(), "c");
+  EXPECT_EQ(remaps[0], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(remaps[1], (std::vector<uint32_t>{1, 2}));
 }
 
 }  // namespace

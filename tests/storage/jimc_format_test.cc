@@ -1,0 +1,496 @@
+// The JIMC on-disk format: write → map round trips preserve everything the
+// TupleStore contract promises, and every validation branch of
+// MappedTupleStore::Open turns corruption into a typed error (the ASAN stage
+// runs this suite, so "no UB on corrupt input" is machine-checked too).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tuple_store.h"
+#include "relational/dictionary.h"
+#include "relational/relation.h"
+#include "storage/format.h"
+#include "storage/mapped_store.h"
+#include "storage/store_writer.h"
+#include "util/status.h"
+
+namespace jim::storage {
+namespace {
+
+using rel::Value;
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "jimc_format_" + name + ".jimc";
+}
+
+/// A relation hitting every value shape: all three types, NULLs, NaN,
+/// duplicate values across columns, empty and separator-embedding strings.
+std::shared_ptr<const rel::Relation> MixedRelation() {
+  rel::Schema schema;
+  schema.AddAttribute({"i", rel::ValueType::kInt64, ""});
+  schema.AddAttribute({"d", rel::ValueType::kDouble, ""});
+  schema.AddAttribute({"s", rel::ValueType::kString, "Q"});
+  schema.AddAttribute({"t", rel::ValueType::kString, ""});
+  rel::Relation relation{"mixed", schema};
+  relation.AddRowUnchecked(
+      {Value(int64_t{7}), Value(1.5), Value("x"), Value("x")});
+  relation.AddRowUnchecked({Value(int64_t{7}), Value(std::nan("")),
+                            Value(""), Value("a,b\tc")});
+  relation.AddRowUnchecked({Value::Null(), Value(std::nan("")),
+                            Value("x"), Value::Null()});
+  relation.AddRowUnchecked({Value(int64_t{-3}), Value(1.5),
+                            Value("a,b\tc"), Value("x")});
+  return std::make_shared<const rel::Relation>(std::move(relation));
+}
+
+TEST(JimcFormatTest, RoundTripPreservesContract) {
+  const auto relation = MixedRelation();
+  const auto original = core::MakeRelationStore(relation);
+  const std::string path = TestPath("round_trip");
+  ASSERT_TRUE(WriteStore(*original, path).ok());
+
+  const auto opened = MappedTupleStore::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  const auto& mapped = **opened;
+  EXPECT_EQ(mapped.name(), "mixed");
+  EXPECT_TRUE(mapped.schema() == original->schema());
+  ASSERT_EQ(mapped.num_tuples(), original->num_tuples());
+  ASSERT_EQ(mapped.num_attributes(), original->num_attributes());
+
+  const size_t n = original->num_tuples();
+  const size_t columns = original->num_attributes();
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t a = 0; a < columns; ++a) {
+      const Value original_value = original->DecodeValue(t, a);
+      const Value mapped_value = mapped.DecodeValue(t, a);
+      EXPECT_EQ(original_value.is_null(), mapped_value.is_null());
+      EXPECT_EQ(original_value.type(), mapped_value.type());
+      if (!original_value.is_null()) {
+        // NaN never Equals; compare renderings instead (bit pattern holds).
+        EXPECT_EQ(original_value.ToString(), mapped_value.ToString())
+            << "cell (" << t << ", " << a << ")";
+      }
+      EXPECT_EQ(mapped.code(t, a) == rel::kNullCode,
+                original->code(t, a) == rel::kNullCode);
+    }
+  }
+  // Codes are renumbered, but the equality *pattern* — all the engine reads
+  // — must match cell for cell.
+  std::vector<uint32_t> original_row(columns), mapped_row(columns);
+  for (size_t t = 0; t < n; ++t) {
+    mapped.TupleCodes(t, mapped_row.data());
+    for (size_t a = 0; a < columns; ++a) {
+      EXPECT_EQ(mapped_row[a], mapped.code(t, a));
+    }
+    for (size_t u = 0; u < n; ++u) {
+      for (size_t a = 0; a < columns; ++a) {
+        for (size_t b = 0; b < columns; ++b) {
+          EXPECT_EQ(original->code(t, a) == original->code(u, b),
+                    mapped.code(t, a) == mapped.code(u, b))
+              << "(" << t << "," << a << ") vs (" << u << "," << b << ")";
+        }
+      }
+    }
+  }
+  EXPECT_GT(mapped.file_bytes(), kHeaderBytes);
+  EXPECT_GT(mapped.shared_dictionary_size(), 0u);
+}
+
+TEST(JimcFormatTest, SliceWritesJustThoseTuples) {
+  const auto relation = MixedRelation();
+  const auto original = core::MakeRelationStore(relation);
+  const std::string path = TestPath("slice");
+  StoreWriterOptions options;
+  options.first_tuple = 1;
+  options.num_tuples = 2;
+  options.name = "slice";
+  ASSERT_TRUE(WriteStore(*original, path, options).ok());
+  const auto opened = MappedTupleStore::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ((*opened)->name(), "slice");
+  ASSERT_EQ((*opened)->num_tuples(), 2u);
+  for (size_t t = 0; t < 2; ++t) {
+    for (size_t a = 0; a < original->num_attributes(); ++a) {
+      const Value expect = original->DecodeValue(t + 1, a);
+      const Value got = (*opened)->DecodeValue(t, a);
+      EXPECT_EQ(expect.is_null(), got.is_null());
+      if (!expect.is_null()) {
+        EXPECT_EQ(expect.ToString(), got.ToString());
+      }
+    }
+  }
+}
+
+TEST(JimcFormatTest, SliceBeyondEndIsOutOfRange) {
+  const auto original = core::MakeRelationStore(MixedRelation());
+  StoreWriterOptions options;
+  options.first_tuple = 99;
+  const util::Status status =
+      WriteStore(*original, TestPath("oob"), options);
+  EXPECT_EQ(status.code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(JimcFormatTest, EmptySliceRoundTrips) {
+  const auto original = core::MakeRelationStore(MixedRelation());
+  const std::string path = TestPath("empty");
+  StoreWriterOptions options;
+  options.num_tuples = 0;
+  ASSERT_TRUE(WriteStore(*original, path, options).ok());
+  const auto opened = MappedTupleStore::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ((*opened)->num_tuples(), 0u);
+  EXPECT_TRUE((*opened)->schema() == original->schema());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix. FileImage reads a valid file, mutates bytes, patches
+// checksums where the mutation is *below* the checksum (so the deeper
+// validation branch is the one that fires), and expects a typed error.
+// ---------------------------------------------------------------------------
+
+class FileImage {
+ public:
+  explicit FileImage(const std::string& path) : path_(path) {
+    std::ifstream in(path, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+  }
+
+  size_t size() const { return bytes_.size(); }
+
+  uint32_t ReadU32(size_t offset) const {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[offset + i]))
+           << (8 * i);
+    }
+    return v;
+  }
+  uint64_t ReadU64(size_t offset) const {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[offset + i]))
+           << (8 * i);
+    }
+    return v;
+  }
+  void WriteU32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_[offset + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+  }
+  void WriteU64(size_t offset, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_[offset + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+  }
+  void WriteByte(size_t offset, uint8_t v) {
+    bytes_[offset] = static_cast<char>(v);
+  }
+
+  /// Byte offset of section-table entry `i`.
+  size_t EntryOffset(size_t i) const {
+    return kHeaderBytes + i * kSectionEntryBytes;
+  }
+
+  /// Index of the table entry matching (id, column); -1 if absent.
+  int FindSection(SectionId id, uint32_t column) const {
+    const size_t sections = ReadU32(20);
+    for (size_t i = 0; i < sections; ++i) {
+      const size_t entry = EntryOffset(i);
+      if (ReadU32(entry) == static_cast<uint32_t>(id) &&
+          ReadU32(entry + 4) == column) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  size_t SectionPayloadOffset(int i) const {
+    return static_cast<size_t>(ReadU64(EntryOffset(static_cast<size_t>(i)) + 8));
+  }
+  size_t SectionLength(int i) const {
+    return static_cast<size_t>(
+        ReadU64(EntryOffset(static_cast<size_t>(i)) + 16));
+  }
+
+  /// Recomputes entry i's checksum from its (possibly mutated) payload.
+  void FixChecksum(int i) {
+    const size_t entry = EntryOffset(static_cast<size_t>(i));
+    const uint64_t checksum =
+        Fnv1a64(bytes_.data() + SectionPayloadOffset(i), SectionLength(i));
+    WriteU64(entry + 24, checksum);
+  }
+
+  void Truncate(size_t new_size) { bytes_.resize(new_size); }
+
+  void Save() const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes_.data(), static_cast<std::streamsize>(bytes_.size()));
+  }
+
+ private:
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+/// Writes a fresh valid file, applies `mutate`, and asserts Open fails with
+/// kInvalidArgument and a message containing `expect_substring`.
+void ExpectCorruption(const std::string& tag,
+                      const std::function<void(FileImage&)>& mutate,
+                      const std::string& expect_substring) {
+  const std::string path = TestPath("corrupt_" + tag);
+  const auto original = core::MakeRelationStore(MixedRelation());
+  ASSERT_TRUE(WriteStore(*original, path).ok());
+  FileImage image(path);
+  mutate(image);
+  image.Save();
+  const auto opened = MappedTupleStore::Open(path);
+  ASSERT_FALSE(opened.ok()) << tag << ": corruption went undetected";
+  EXPECT_EQ(opened.status().code(), util::StatusCode::kInvalidArgument)
+      << tag << ": " << opened.status();
+  EXPECT_NE(opened.status().message().find(expect_substring),
+            std::string::npos)
+      << tag << ": got '" << opened.status().message() << "', expected it to "
+      << "mention '" << expect_substring << "'";
+}
+
+TEST(JimcCorruptionTest, MissingFileIsNotFound) {
+  const auto opened = MappedTupleStore::Open(TestPath("never_written"));
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(JimcCorruptionTest, EmptyAndTinyFiles) {
+  ExpectCorruption("tiny", [](FileImage& f) { f.Truncate(17); },
+                   "smaller than");
+}
+
+TEST(JimcCorruptionTest, BadMagic) {
+  ExpectCorruption("magic", [](FileImage& f) { f.WriteU32(0, 0xDEADBEEF); },
+                   "bad magic");
+}
+
+TEST(JimcCorruptionTest, UnsupportedVersion) {
+  ExpectCorruption("version", [](FileImage& f) { f.WriteU32(4, 99); },
+                   "unsupported format version");
+}
+
+TEST(JimcCorruptionTest, TruncatedFile) {
+  ExpectCorruption("truncated",
+                   [](FileImage& f) { f.Truncate(f.size() - 1); },
+                   "truncated or over-long");
+}
+
+TEST(JimcCorruptionTest, ZeroAttributes) {
+  ExpectCorruption("zero_attrs", [](FileImage& f) { f.WriteU32(16, 0); },
+                   "zero attributes");
+}
+
+TEST(JimcCorruptionTest, SectionCountMismatch) {
+  ExpectCorruption("section_count", [](FileImage& f) { f.WriteU32(20, 3); },
+                   "sections");
+}
+
+TEST(JimcCorruptionTest, AbsurdTupleCount) {
+  ExpectCorruption("tuple_count",
+                   [](FileImage& f) { f.WriteU64(8, ~uint64_t{0} / 2); },
+                   "cannot fit");
+}
+
+TEST(JimcCorruptionTest, DictionarySizeBeyondWhatPagesCouldDefine) {
+  // The header is unchecksummed; a crafted shared_dict_size must be
+  // rejected *before* the offset-table allocation it would size.
+  ExpectCorruption("dict_size",
+                   [](FileImage& f) {
+                     f.WriteU64(24, f.size());  // passes the ≤ size_ check
+                   },
+                   "could define");
+}
+
+TEST(JimcCorruptionTest, SectionOutOfBounds) {
+  ExpectCorruption("section_bounds",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kName, kNoColumn);
+                     ASSERT_GE(i, 0);
+                     f.WriteU64(f.EntryOffset(static_cast<size_t>(i)) + 8,
+                                f.size() + 8);
+                   },
+                   "falls outside");
+}
+
+TEST(JimcCorruptionTest, ChecksumMismatch) {
+  ExpectCorruption("checksum",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kCodes, 0);
+                     ASSERT_GE(i, 0);
+                     const size_t payload = f.SectionPayloadOffset(i);
+                     f.WriteByte(payload, 0xAB);
+                   },
+                   "checksum mismatch");
+}
+
+TEST(JimcCorruptionTest, DuplicateSection) {
+  // Retagging the name section as a second schema section trips the
+  // duplicate check (section-table bytes are not under any checksum).
+  ExpectCorruption("duplicate",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kName, kNoColumn);
+                     ASSERT_GE(i, 0);
+                     f.WriteU32(f.EntryOffset(static_cast<size_t>(i)),
+                                static_cast<uint32_t>(SectionId::kSchema));
+                   },
+                   "duplicate schema section");
+}
+
+TEST(JimcCorruptionTest, UnknownSectionId) {
+  ExpectCorruption("unknown_id",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kName, kNoColumn);
+                     ASSERT_GE(i, 0);
+                     f.WriteU32(f.EntryOffset(static_cast<size_t>(i)), 77);
+                   },
+                   "unknown section id");
+}
+
+TEST(JimcCorruptionTest, ColumnIndexOutOfRange) {
+  ExpectCorruption("column_range",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kCodes, 1);
+                     ASSERT_GE(i, 0);
+                     f.WriteU32(f.EntryOffset(static_cast<size_t>(i)) + 4,
+                                1000);
+                   },
+                   "names column");
+}
+
+TEST(JimcCorruptionTest, SchemaAttributeCountMismatch) {
+  ExpectCorruption("schema_count",
+                   [](FileImage& f) {
+                     const int i =
+                         f.FindSection(SectionId::kSchema, kNoColumn);
+                     ASSERT_GE(i, 0);
+                     f.WriteU32(f.SectionPayloadOffset(i), 2);
+                     f.FixChecksum(i);
+                   },
+                   "header claims");
+}
+
+TEST(JimcCorruptionTest, DictionaryRemapOutOfRange) {
+  ExpectCorruption("remap_range",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kDictionary, 0);
+                     ASSERT_GE(i, 0);
+                     // First entry's shared code sits right after the count.
+                     f.WriteU32(f.SectionPayloadOffset(i) + 4, 0xFFFFFF);
+                     f.FixChecksum(i);
+                   },
+                   "shared code");
+}
+
+TEST(JimcCorruptionTest, DictionaryTrailingBytes) {
+  ExpectCorruption("trailing",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kDictionary, 0);
+                     ASSERT_GE(i, 0);
+                     const uint32_t entries =
+                         f.ReadU32(f.SectionPayloadOffset(i));
+                     ASSERT_GT(entries, 0u);
+                     f.WriteU32(f.SectionPayloadOffset(i), entries - 1);
+                     f.FixChecksum(i);
+                   },
+                   "trailing bytes");
+}
+
+TEST(JimcCorruptionTest, UnknownValueTag) {
+  ExpectCorruption("value_tag",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kDictionary, 0);
+                     ASSERT_GE(i, 0);
+                     // count u32, shared u32, then the first record's tag.
+                     f.WriteByte(f.SectionPayloadOffset(i) + 8, 42);
+                     f.FixChecksum(i);
+                   },
+                   "unknown value tag");
+}
+
+TEST(JimcCorruptionTest, StringLengthRunsPastSection) {
+  ExpectCorruption(
+      "string_length",
+      [](FileImage& f) {
+        // Column 2 ("s") is a string column; its first record is
+        // count u32 | shared u32 | tag u8 | length u32 | bytes.
+        const int i = f.FindSection(SectionId::kDictionary, 2);
+        ASSERT_GE(i, 0);
+        f.WriteU32(f.SectionPayloadOffset(i) + 9, 0x00FFFFFF);
+        f.FixChecksum(i);
+      },
+      "truncated");
+}
+
+TEST(JimcCorruptionTest, CodeArrayWrongLength) {
+  ExpectCorruption("codes_length",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kCodes, 0);
+                     ASSERT_GE(i, 0);
+                     const size_t entry =
+                         f.EntryOffset(static_cast<size_t>(i));
+                     f.WriteU64(entry + 16, f.SectionLength(i) - 4);
+                     f.FixChecksum(i);
+                   },
+                   "expected");
+}
+
+TEST(JimcCorruptionTest, CodeArrayMisaligned) {
+  ExpectCorruption("codes_misaligned",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kCodes, 0);
+                     ASSERT_GE(i, 0);
+                     const size_t entry =
+                         f.EntryOffset(static_cast<size_t>(i));
+                     f.WriteU64(entry + 8, f.SectionPayloadOffset(i) + 2);
+                     f.FixChecksum(i);
+                   },
+                   "misaligned");
+}
+
+TEST(JimcCorruptionTest, CodeOutOfDictionaryRange) {
+  ExpectCorruption("code_range",
+                   [](FileImage& f) {
+                     const int i = f.FindSection(SectionId::kCodes, 0);
+                     ASSERT_GE(i, 0);
+                     f.WriteU32(f.SectionPayloadOffset(i), 0x7FFFFFFF);
+                     f.FixChecksum(i);
+                   },
+                   "outside the shared dictionary");
+}
+
+TEST(JimcCorruptionTest, SharedCodeNeverDefined) {
+  ExpectCorruption(
+      "undefined_code",
+      [](FileImage& f) {
+        // Remap a column-0 dictionary entry onto shared code 0; whichever
+        // code it used to define is now orphaned. MixedRelation has more
+        // than one distinct value in column 0, so an orphan must exist.
+        const int i = f.FindSection(SectionId::kDictionary, 0);
+        ASSERT_GE(i, 0);
+        const size_t payload = f.SectionPayloadOffset(i);
+        const uint32_t entries = f.ReadU32(payload);
+        ASSERT_GE(entries, 2u);
+        // Entry 0 is {shared u32, tag u8 = int64, value u64}: 13 bytes.
+        const uint32_t first = f.ReadU32(payload + 4);
+        f.WriteU32(payload + 4 + 13, first);
+        f.FixChecksum(i);
+      },
+      "never defined");
+}
+
+}  // namespace
+}  // namespace jim::storage

@@ -1,0 +1,209 @@
+// ShardedTupleStore: prefix-sum routing, cross-shard code unification, and
+// the TupleStore contract (code equality ⇔ strict Value equality) over
+// compositions of mapped and in-memory shards.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tuple_store.h"
+#include "exec/thread_pool.h"
+#include "relational/dictionary.h"
+#include "relational/relation.h"
+#include "storage/mapped_store.h"
+#include "storage/sharded_store.h"
+#include "storage/store_writer.h"
+
+namespace jim::storage {
+namespace {
+
+using rel::Value;
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "sharded_" + name + ".jimc";
+}
+
+std::shared_ptr<const rel::Relation> MakeRelation(
+    const std::string& name, std::vector<rel::Tuple> rows) {
+  rel::Relation relation{name, rel::Schema::FromNames({"a", "b"})};
+  for (auto& row : rows) relation.AddRowUnchecked(std::move(row));
+  return std::make_shared<const rel::Relation>(std::move(relation));
+}
+
+/// Splits `store` into `shards` contiguous mapped slices via the writer.
+std::vector<std::shared_ptr<const core::TupleStore>> MappedSlices(
+    const core::TupleStore& store, size_t shards, const std::string& tag) {
+  std::vector<std::shared_ptr<const core::TupleStore>> slices;
+  const size_t n = store.num_tuples();
+  for (size_t s = 0; s < shards; ++s) {
+    StoreWriterOptions options;
+    options.first_tuple = n * s / shards;
+    options.num_tuples = n * (s + 1) / shards - options.first_tuple;
+    const std::string path = TestPath(tag + "_" + std::to_string(s));
+    EXPECT_TRUE(WriteStore(store, path, options).ok());
+    auto opened = OpenStore(path);
+    EXPECT_TRUE(opened.ok()) << opened.status();
+    slices.push_back(*std::move(opened));
+  }
+  return slices;
+}
+
+void ExpectSameContract(const core::TupleStore& expected,
+                        const core::TupleStore& actual) {
+  ASSERT_EQ(expected.num_tuples(), actual.num_tuples());
+  ASSERT_TRUE(expected.schema() == actual.schema());
+  const size_t n = expected.num_tuples();
+  const size_t columns = expected.num_attributes();
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t a = 0; a < columns; ++a) {
+      const Value expect = expected.DecodeValue(t, a);
+      const Value got = actual.DecodeValue(t, a);
+      EXPECT_EQ(expect.is_null(), got.is_null()) << t << "," << a;
+      if (!expect.is_null()) {
+        EXPECT_EQ(expect.ToString(), got.ToString()) << t << "," << a;
+      }
+      EXPECT_EQ(expected.code(t, a) == rel::kNullCode,
+                actual.code(t, a) == rel::kNullCode);
+      for (size_t u = 0; u < n; ++u) {
+        for (size_t b = 0; b < columns; ++b) {
+          EXPECT_EQ(expected.code(t, a) == expected.code(u, b),
+                    actual.code(t, a) == actual.code(u, b))
+              << "(" << t << "," << a << ") vs (" << u << "," << b << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedTupleStoreTest, ComposesMappedSlicesBackIntoTheOriginal) {
+  const auto relation = MakeRelation(
+      "r", {{Value(int64_t{1}), Value("x")},
+            {Value(int64_t{2}), Value("y")},
+            {Value::Null(), Value("x")},
+            {Value(int64_t{1}), Value::Null()},
+            {Value(int64_t{3}), Value("z")},
+            {Value(int64_t{2}), Value("2")}});
+  const auto original = core::MakeRelationStore(relation);
+  for (size_t shards : {1u, 2u, 3u, 4u}) {
+    auto slices =
+        MappedSlices(*original, shards, "compose" + std::to_string(shards));
+    const auto sharded =
+        ShardedTupleStore::Create("r", std::move(slices));
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    EXPECT_EQ((*sharded)->num_shards(), shards);
+    ExpectSameContract(*original, **sharded);
+  }
+}
+
+TEST(ShardedTupleStoreTest, RoutingAndOffsets) {
+  const auto relation = MakeRelation("r", {{Value(int64_t{1}), Value("a")},
+                                           {Value(int64_t{2}), Value("b")},
+                                           {Value(int64_t{3}), Value("c")}});
+  const auto original = core::MakeRelationStore(relation);
+  // Slice boundaries 0|1..2 plus an empty middle shard: routing must skip
+  // zero-tuple shards without ever asking them for a tuple.
+  StoreWriterOptions first;
+  first.num_tuples = 1;
+  StoreWriterOptions empty;
+  empty.first_tuple = 1;
+  empty.num_tuples = 0;
+  StoreWriterOptions rest;
+  rest.first_tuple = 1;
+  ASSERT_TRUE(WriteStore(*original, TestPath("route_0"), first).ok());
+  ASSERT_TRUE(WriteStore(*original, TestPath("route_1"), empty).ok());
+  ASSERT_TRUE(WriteStore(*original, TestPath("route_2"), rest).ok());
+  std::vector<std::shared_ptr<const core::TupleStore>> slices;
+  for (int s = 0; s < 3; ++s) {
+    auto opened = OpenStore(TestPath("route_" + std::to_string(s)));
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    slices.push_back(*std::move(opened));
+  }
+  const auto sharded = ShardedTupleStore::Create("r", std::move(slices));
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  EXPECT_EQ((*sharded)->offsets(), (std::vector<size_t>{0, 1, 1, 3}));
+  EXPECT_EQ((*sharded)->Locate(0), (std::pair<size_t, size_t>{0, 0}));
+  EXPECT_EQ((*sharded)->Locate(1), (std::pair<size_t, size_t>{2, 0}));
+  EXPECT_EQ((*sharded)->Locate(2), (std::pair<size_t, size_t>{2, 1}));
+  ExpectSameContract(*original, **sharded);
+}
+
+TEST(ShardedTupleStoreTest, CrossShardEqualityMatchesValueEquality) {
+  // "x" and 7 recur across shards (and across columns); codes must unify.
+  // The string "7" must NOT unify with the integer 7.
+  const auto left = core::MakeRelationStore(
+      MakeRelation("l", {{Value(int64_t{7}), Value("x")}}));
+  const auto right = core::MakeRelationStore(
+      MakeRelation("r", {{Value("x"), Value("7")},
+                         {Value(int64_t{7}), Value(int64_t{7})}}));
+  const auto sharded = ShardedTupleStore::Create("lr", {left, right});
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  const auto& store = **sharded;
+  EXPECT_EQ(store.num_tuples(), 3u);
+  EXPECT_EQ(store.code(0, 0), store.code(2, 0));  // 7 across shards
+  EXPECT_EQ(store.code(0, 0), store.code(2, 1));  // 7 across shard+column
+  EXPECT_EQ(store.code(0, 1), store.code(1, 0));  // "x" across shards
+  EXPECT_NE(store.code(1, 1), store.code(2, 0));  // "7" vs 7
+  EXPECT_EQ(store.composite_dictionary_size(), 3u);  // {7, "x", "7"}
+}
+
+TEST(ShardedTupleStoreTest, NaNStaysUnequalAcrossShards) {
+  const auto a = core::MakeRelationStore(MakeRelation(
+      "a", {{Value(std::nan("")), Value(1.5)}}));
+  const auto b = core::MakeRelationStore(MakeRelation(
+      "b", {{Value(std::nan("")), Value(1.5)}}));
+  const auto sharded = ShardedTupleStore::Create("ab", {a, b});
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  const auto& store = **sharded;
+  EXPECT_NE(store.code(0, 0), store.code(1, 0));  // NaN ≠ NaN across shards
+  EXPECT_EQ(store.code(0, 1), store.code(1, 1));  // 1.5 == 1.5
+}
+
+TEST(ShardedTupleStoreTest, ParallelScanIsBitwiseIdentical) {
+  std::vector<rel::Tuple> rows;
+  for (int64_t i = 0; i < 400; ++i) {
+    rows.push_back({Value(i % 17), Value("s" + std::to_string(i % 23))});
+  }
+  const auto original = core::MakeRelationStore(MakeRelation("r", rows));
+  auto serial_slices = MappedSlices(*original, 4, "par_serial");
+  auto parallel_slices = MappedSlices(*original, 4, "par_pool");
+  const auto serial =
+      ShardedTupleStore::Create("r", std::move(serial_slices), nullptr);
+  ASSERT_TRUE(serial.ok());
+  exec::ThreadPool pool(4);
+  const auto parallel =
+      ShardedTupleStore::Create("r", std::move(parallel_slices), &pool);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ((*serial)->num_tuples(), (*parallel)->num_tuples());
+  for (size_t t = 0; t < (*serial)->num_tuples(); ++t) {
+    for (size_t a = 0; a < (*serial)->num_attributes(); ++a) {
+      EXPECT_EQ((*serial)->code(t, a), (*parallel)->code(t, a));
+    }
+  }
+  EXPECT_EQ((*serial)->composite_dictionary_size(),
+            (*parallel)->composite_dictionary_size());
+}
+
+TEST(ShardedTupleStoreTest, RejectsEmptyAndMismatchedShards) {
+  EXPECT_EQ(ShardedTupleStore::Create("none", {}).status().code(),
+            util::StatusCode::kInvalidArgument);
+  const auto two_columns = core::MakeRelationStore(
+      MakeRelation("two", {{Value(int64_t{1}), Value("x")}}));
+  rel::Relation other{"other", rel::Schema::FromNames({"a"})};
+  other.AddRowUnchecked({Value(int64_t{1})});
+  const auto one_column = core::MakeRelationStore(
+      std::make_shared<const rel::Relation>(std::move(other)));
+  const auto mismatched =
+      ShardedTupleStore::Create("bad", {two_columns, one_column});
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), util::StatusCode::kInvalidArgument);
+  const auto with_null = ShardedTupleStore::Create(
+      "bad", {two_columns, nullptr});
+  ASSERT_FALSE(with_null.ok());
+  EXPECT_EQ(with_null.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace jim::storage
