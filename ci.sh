@@ -2,29 +2,62 @@
 # Tier-1 verify (must match ROADMAP.md): configure, build, run the full
 # GoogleTest suite. Exits non-zero on the first failure.
 #
-# A second stage rebuilds the parallel execution subsystem under
-# ThreadSanitizer (-DJIM_SANITIZE=thread) and runs the exec unit tests plus
-# the determinism/COW parity suites under it — the suites that actually
-# exercise cross-thread interleavings. Set JIM_SKIP_TSAN=1 to skip the
-# stage (e.g. on a toolchain without libtsan).
+# After tier-1, the correctness-tooling stages:
+#   - determinism lint   tools/lint_determinism.py over src/ (hash-order
+#                        iteration, pointer keys, wall clocks, guard drift)
+#   - round-trip smoke   jim_cli save → load must transcript-diff clean
+#   - TSAN stage         parallel exec + parity suites under
+#                        -DJIM_SANITIZE=thread, plus a guard that every
+#                        tsan.supp suppression still matches a symbol the
+#                        instrumented binaries actually reference
+#   - ASAN stage         columnar storage/ingest suites under address
+#   - UBSAN stage        integer-kernel + storage suites AND the
+#                        deterministic fuzz driver (5000 mutated JIMC
+#                        images / goal strings) under address+undefined
+#                        with every finding fatal (-fno-sanitize-recover)
+#   - audit stage        -DJIM_AUDIT_INVARIANTS=ON build running the parity
+#                        suites with every engine mutation re-deriving its
+#                        CheckInvariants contract
+#   - clang-tidy stage   advisory, opt-in via JIM_RUN_CLANG_TIDY=1
 #
-# A third stage rebuilds under AddressSanitizer (-DJIM_SANITIZE=address) and
-# runs the columnar storage/ingest suites — dictionary encoding, the
-# TupleStore implementations, the factorized universal table, the
-# encoded-vs-legacy parity tests, and the persistent-storage suites (JIMC
-# write/map round trips, the corruption matrix, sharded composition) — the
-# code that does the pointer-heavy code matrix, row-id, and mmap-parsing
-# work. Set JIM_SKIP_ASAN=1 to skip.
+# Sanitizer stages probe the toolchain first (compile-and-link of a trivial
+# program under the flag) and auto-skip with a loud warning when the
+# runtime is missing — JIM_SKIP_TSAN/ASAN/UBSAN/AUDIT=1 still force-skip.
 set -euxo pipefail
 cd "$(dirname "$0")"
 
+CXX_BIN="${CXX:-c++}"
+
+# True iff the toolchain can build AND link under the given -fsanitize flag
+# (catches both an unsupported flag and a missing libtsan/libasan/libubsan).
+sanitizer_available() {
+  local flag="$1" probe
+  probe="$(mktemp /tmp/jim_san_probe.XXXXXX)"
+  if echo 'int main(){return 0;}' | \
+      "$CXX_BIN" -fsanitize="$flag" -x c++ - -o "$probe" >/dev/null 2>&1; then
+    rm -f "$probe"
+    return 0
+  fi
+  rm -f "$probe"
+  return 1
+}
+
+warn_skip() {
+  echo "WARNING: $1 — skipping the $2 stage" >&2
+}
+
+# --- tier-1: full build + full suite -------------------------------------
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
-# Persistent-storage round-trip smoke: save an instance from CSV, reopen it
-# from the JIMC file, and demand byte-identical session transcripts (the
-# save/load notes go to stderr, so stdout must diff clean).
+# --- determinism lint ----------------------------------------------------
+python3 tools/lint_determinism.py
+
+# --- persistent-storage round-trip smoke ---------------------------------
+# Save an instance from CSV, reopen it from the JIMC file, and demand
+# byte-identical session transcripts (the save/load notes go to stderr, so
+# stdout must diff clean).
 smokedir="$(mktemp -d)"
 trap 'rm -rf "$smokedir"' EXIT
 cat > "$smokedir/flights.csv" <<'EOF'
@@ -42,23 +75,48 @@ EOF
   --goal="To=City && Airline=Discount" > "$smokedir/loaded.txt"
 diff "$smokedir/saved.txt" "$smokedir/loaded.txt"
 
-if [[ "${JIM_SKIP_TSAN:-0}" != "1" ]]; then
-  cmake -B build-tsan -S . \
-    -DJIM_SANITIZE=thread -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
+# --- TSAN stage ----------------------------------------------------------
+if [[ "${JIM_SKIP_TSAN:-0}" == "1" ]]; then
+  warn_skip "JIM_SKIP_TSAN=1" "TSAN"
+elif ! sanitizer_available thread; then
+  warn_skip "toolchain cannot link -fsanitize=thread (libtsan missing?)" \
+    "TSAN"
+else
+  cmake -B build-tsan -S . -DJIM_SANITIZE=thread -DJIM_WERROR=ON \
+    -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j --target \
     exec_thread_pool_test exec_scratch_pool_test exec_batch_runner_test \
     core_parallel_parity_test core_engine_cow_test core_encoded_parity_test \
     relational_dictionary_test core_tuple_store_test \
     storage_sharded_store_test query_query_test
+  # Stale-suppression guard: every race: pattern in tsan.supp must still
+  # match a symbol some instrumented test binary references (nm -C), or the
+  # suppression is dead weight hiding future real races — remove it.
+  nm -C build-tsan/exec_thread_pool_test build-tsan/exec_batch_runner_test \
+    > "$smokedir/tsan_symbols.txt" 2>/dev/null
+  grep -v '^\s*#' tsan.supp | grep -oE '^race:.*' | sed 's/^race://' | \
+  while IFS= read -r pattern; do
+    if ! grep -qF "$pattern" "$smokedir/tsan_symbols.txt"; then
+      echo "ERROR: tsan.supp suppression '$pattern' matches no symbol in" \
+        "the instrumented binaries — stale suppression, remove it" >&2
+      exit 1
+    fi
+  done
   (cd build-tsan && \
     TSAN_OPTIONS="suppressions=$(pwd)/../tsan.supp ${TSAN_OPTIONS:-}" \
     ctest --output-on-failure -j"$(nproc)" \
     -R 'ThreadPool|ScratchPool|BatchSessionRunner|ParallelParity|EngineCow|EncodedParity|ParallelEncode|ParallelIngest|ParallelScan|UniversalTable|Catalog')
 fi
 
-if [[ "${JIM_SKIP_ASAN:-0}" != "1" ]]; then
-  cmake -B build-asan -S . \
-    -DJIM_SANITIZE=address -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
+# --- ASAN stage ----------------------------------------------------------
+if [[ "${JIM_SKIP_ASAN:-0}" == "1" ]]; then
+  warn_skip "JIM_SKIP_ASAN=1" "ASAN"
+elif ! sanitizer_available address; then
+  warn_skip "toolchain cannot link -fsanitize=address (libasan missing?)" \
+    "ASAN"
+else
+  cmake -B build-asan -S . -DJIM_SANITIZE=address -DJIM_WERROR=ON \
+    -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j --target \
     relational_dictionary_test core_tuple_store_test \
     query_factorized_parity_test core_encoded_parity_test query_query_test \
@@ -67,3 +125,58 @@ if [[ "${JIM_SKIP_ASAN:-0}" != "1" ]]; then
   (cd build-asan && ctest --output-on-failure -j"$(nproc)" \
     -R 'Dictionary|EncodeColumn|EncodedRelation|TupleStore|FactorizedParity|EncodedParity|UniversalTable|EngineCow|Jimc|MappedParity|Snapshot|ParallelEncode')
 fi
+
+# --- UBSAN stage (address+undefined, findings fatal) ---------------------
+if [[ "${JIM_SKIP_UBSAN:-0}" == "1" ]]; then
+  warn_skip "JIM_SKIP_UBSAN=1" "UBSAN"
+elif ! sanitizer_available address,undefined; then
+  warn_skip \
+    "toolchain cannot link -fsanitize=address,undefined (libubsan missing?)" \
+    "UBSAN"
+else
+  cmake -B build-ubsan -S . -DJIM_SANITIZE="address;undefined" \
+    -DJIM_WERROR=ON -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
+  cmake --build build-ubsan -j --target \
+    lattice_partition_test lattice_antichain_test lattice_kernel_parity_test \
+    lattice_enumeration_test core_tuple_store_test core_invariant_audit_test \
+    relational_dictionary_test storage_jimc_format_test \
+    storage_byte_reader_test storage_mapped_parity_test \
+    storage_sharded_store_test storage_snapshot_test fuzz_jimc_main
+  (cd build-ubsan && ctest --output-on-failure -j"$(nproc)" \
+    -R 'Partition|Antichain|KernelParity|Enumeration|TupleStore|Dictionary|Jimc|ByteReader|MappedParity|Sharded|Snapshot|InvariantAudit|fuzz_jimc_smoke')
+  # The deterministic fuzz driver, long run: 5000 mutated JIMC images and
+  # goal strings, every outcome a typed Status, under ASAN+UBSAN with
+  # findings fatal. Reproduce any failure with the printed seed.
+  ./build-ubsan/fuzz_jimc_main --seed=1 --iterations=5000
+fi
+
+# --- invariant-audit stage -----------------------------------------------
+if [[ "${JIM_SKIP_AUDIT:-0}" == "1" ]]; then
+  warn_skip "JIM_SKIP_AUDIT=1" "audit"
+else
+  cmake -B build-audit -S . -DJIM_AUDIT_INVARIANTS=ON -DJIM_WERROR=ON \
+    -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
+  cmake --build build-audit -j --target \
+    core_invariant_audit_test core_parallel_parity_test \
+    core_encoded_parity_test core_incremental_parity_test \
+    lattice_kernel_parity_test query_factorized_parity_test \
+    storage_mapped_parity_test core_engine_cow_test
+  (cd build-audit && JIM_AUDIT_INVARIANTS=1 \
+    ctest --output-on-failure -j"$(nproc)" \
+    -R 'Parity|InvariantAudit|EngineCow')
+fi
+
+# --- clang-tidy stage (advisory, opt-in) ---------------------------------
+if [[ "${JIM_RUN_CLANG_TIDY:-0}" == "1" ]]; then
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    warn_skip "clang-tidy not installed" "clang-tidy"
+  else
+    # Advisory: report, don't gate — the curated .clang-tidy check set is
+    # the contract, and new findings land as review feedback, not breakage.
+    git ls-files 'src/*.cc' | \
+      xargs clang-tidy -p build --quiet || \
+      echo "WARNING: clang-tidy reported findings (advisory stage)" >&2
+  fi
+fi
+
+echo "ci.sh: all stages passed"

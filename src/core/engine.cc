@@ -51,6 +51,7 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const TupleStore> store,
   // Some tuples may be uninformative from the start (e.g. all-values-equal
   // tuples are selected by every predicate).
   Propagate();
+  JIM_AUDIT(CheckInvariants());
 }
 
 InferenceEngine::InferenceEngine(std::shared_ptr<const TupleStore> store)
@@ -378,14 +379,21 @@ util::Status InferenceEngine::SubmitTupleLabel(size_t tuple_index,
   if (tuple_index >= store_->num_tuples()) {
     return util::OutOfRangeError("tuple index out of range");
   }
-  return LabelImpl((*class_of_tuple_)[tuple_index], tuple_index, label);
+  const util::Status status =
+      LabelImpl((*class_of_tuple_)[tuple_index], tuple_index, label);
+  // Audited on rejection too: a refused label must leave the engine intact.
+  JIM_AUDIT(CheckInvariants());
+  return status;
 }
 
 util::Status InferenceEngine::SubmitClassLabel(size_t class_id, Label label) {
   if (class_id >= classes_->size()) {
     return util::OutOfRangeError("class id out of range");
   }
-  return LabelImpl(class_id, (*classes_)[class_id].tuple_indices.front(), label);
+  const util::Status status =
+      LabelImpl(class_id, (*classes_)[class_id].tuple_indices.front(), label);
+  JIM_AUDIT(CheckInvariants());
+  return status;
 }
 
 InferenceEngine::LabelImpact InferenceEngine::SimulateLabel(
@@ -459,6 +467,115 @@ InferenceEngine::LabelImpactPair InferenceEngine::SimulateLabelBothWith(
     }
   }
   return impact;
+}
+
+void InferenceEngine::CheckInvariants() const {
+  state_.CheckInvariants();
+
+  // COW holders attached and sized for this instance.
+  JIM_CHECK(store_ != nullptr && classes_ != nullptr &&
+            class_of_tuple_ != nullptr && session_ != nullptr &&
+            knowledge_ != nullptr);
+  const size_t num_tuples = store_->num_tuples();
+  const size_t num_classes = classes_->size();
+  JIM_CHECK_EQ(class_of_tuple_->size(), num_tuples);
+  JIM_CHECK_EQ(session_->class_status.size(), num_classes);
+  JIM_CHECK_EQ(session_->explicit_label.size(), num_tuples);
+  JIM_CHECK_EQ(knowledge_->size(), num_classes);
+
+  // Classes partition the tuple set, in agreement with class_of_tuple_.
+  size_t members_total = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    const TupleClass& tuple_class = (*classes_)[c];
+    tuple_class.partition.CheckInvariants();
+    JIM_CHECK_EQ(tuple_class.partition.num_elements(),
+                 store_->num_attributes());
+    JIM_CHECK(!tuple_class.tuple_indices.empty()) << "empty class " << c;
+    members_total += tuple_class.size();
+    for (size_t t : tuple_class.tuple_indices) {
+      JIM_CHECK_LT(t, num_tuples);
+      JIM_CHECK_EQ((*class_of_tuple_)[t], c)
+          << "tuple " << t << " listed in class " << c
+          << " but mapped elsewhere";
+    }
+  }
+  JIM_CHECK_EQ(members_total, num_tuples)
+      << "classes do not partition the tuple set";
+
+  // Worklist = ascending ids of exactly the kInformative classes.
+  const std::vector<size_t>& informative = session_->informative;
+  for (size_t i = 0; i < informative.size(); ++i) {
+    JIM_CHECK_LT(informative[i], num_classes);
+    if (i > 0) {
+      JIM_CHECK_LT(informative[i - 1], informative[i])
+          << "worklist not strictly ascending at position " << i;
+    }
+  }
+  size_t informative_count = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    const bool on_worklist = std::binary_search(
+        informative.begin(), informative.end(), c);
+    const bool is_informative =
+        session_->class_status[c] == ClassStatus::kInformative;
+    JIM_CHECK_EQ(on_worklist, is_informative)
+        << "worklist/status disagreement on class " << c << " ("
+        << ClassStatusToString(session_->class_status[c]) << ")";
+    if (is_informative) ++informative_count;
+  }
+  JIM_CHECK_EQ(informative_count, informative.size());
+
+  // Per-class: cached knowledge fresh for informative classes, and every
+  // non-explicit status reproducible from a from-scratch classification.
+  for (size_t c = 0; c < num_classes; ++c) {
+    const lat::Partition& part = (*classes_)[c].partition;
+    switch (session_->class_status[c]) {
+      case ClassStatus::kInformative:
+        JIM_CHECK((*knowledge_)[c] == state_.theta_p().Meet(part))
+            << "stale knowledge cache K_" << c;
+        JIM_CHECK(state_.Classify(part) == TupleClassification::kInformative)
+            << "class " << c << " marked informative but classifies otherwise";
+        break;
+      case ClassStatus::kForcedPositive:
+        JIM_CHECK(state_.Classify(part) ==
+                  TupleClassification::kForcedPositive)
+            << "class " << c << " wrongly forced positive";
+        break;
+      case ClassStatus::kForcedNegative:
+        JIM_CHECK(state_.Classify(part) ==
+                  TupleClassification::kForcedNegative)
+            << "class " << c << " wrongly forced negative";
+        break;
+      case ClassStatus::kLabeledPositive:
+        // An accepted positive label implies every consistent predicate now
+        // selects the class (the label made it so).
+        JIM_CHECK(state_.Classify(part) ==
+                  TupleClassification::kForcedPositive)
+            << "class " << c << " labeled positive but not forced by θ_P";
+        break;
+      case ClassStatus::kLabeledNegative:
+        JIM_CHECK(state_.Classify(part) ==
+                  TupleClassification::kForcedNegative)
+            << "class " << c << " labeled negative but not in a forbidden zone";
+        break;
+    }
+  }
+
+  // Explicit tuple labels agree with their class's status.
+  for (size_t t = 0; t < num_tuples; ++t) {
+    const uint8_t label = session_->explicit_label[t];
+    if (label == 0) continue;
+    const ClassStatus status = session_->class_status[(*class_of_tuple_)[t]];
+    if (label == 1) {
+      JIM_CHECK(status == ClassStatus::kLabeledPositive)
+          << "tuple " << t << " labeled positive in class with status "
+          << ClassStatusToString(status);
+    } else {
+      JIM_CHECK_EQ(label, uint8_t{2});
+      JIM_CHECK(status == ClassStatus::kLabeledNegative)
+          << "tuple " << t << " labeled negative in class with status "
+          << ClassStatusToString(status);
+    }
+  }
 }
 
 InferenceEngine::Stats InferenceEngine::GetStats() const {

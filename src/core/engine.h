@@ -231,6 +231,21 @@ class InferenceEngine {
   /// Explicit labels in submission order.
   const LabeledExamples& history() const { return history_; }
 
+  /// Invariant audit (see util/check.h), re-deriving the engine's contracts
+  /// from scratch and JIM_CHECK-failing on any disagreement:
+  ///   - the inference state is internally consistent (θ_P / antichain);
+  ///   - classes partition the tuple set and agree with class_of_tuple;
+  ///   - the worklist is exactly the ascending list of kInformative classes;
+  ///   - for every informative class, the cached knowledge K_c equals a
+  ///     from-scratch θ_P ∧ Part(c) recompute, and the incremental status of
+  ///     every class matches a fresh InferenceState::Classify;
+  ///   - explicit per-tuple labels agree with their class statuses;
+  ///   - the copy-on-write holders are attached and correctly sized.
+  /// O(classes · (n² + antichain)); tests call it directly, and every
+  /// construction/labeling runs it under JIM_AUDIT (the parity suites and
+  /// the ci.sh audit stage enable that mode).
+  void CheckInvariants() const;
+
  private:
   /// The flat per-class/per-tuple session arrays, grouped under one
   /// copy-on-write holder so a clone shares them until its first Submit

@@ -103,6 +103,28 @@ TupleClassification InferenceState::ClassifyWith(
   return TupleClassification::kInformative;
 }
 
+void InferenceState::CheckInvariants() const {
+  theta_p_.CheckInvariants();
+  negatives_.CheckInvariants();
+  JIM_CHECK_EQ(theta_p_.num_elements(), num_attributes_);
+  if (!has_positive_example_) {
+    JIM_CHECK(theta_p_ == lat::Partition::Top(num_attributes_))
+        << "θ_P moved off ⊤ without a positive example";
+  }
+  for (const lat::Partition& m : negatives_.members()) {
+    JIM_CHECK_EQ(m.num_elements(), num_attributes_);
+    // Every forbidden zone is of the form θ_P ∧ Part(s) (and RestrictTo
+    // re-clips on every θ_P shrink), so members always lie below θ_P —
+    // strictly, or θ_P itself would be inconsistent.
+    JIM_CHECK(m.StrictlyRefines(theta_p_))
+        << "forbidden member " << m.ToString() << " not strictly below θ_P "
+        << theta_p_.ToString();
+  }
+  // θ_P is the canonical answer; it must never be ruled out by a negative.
+  JIM_CHECK(!negatives_.DominatedBy(theta_p_))
+      << "θ_P " << theta_p_.ToString() << " is itself forbidden";
+}
+
 std::string InferenceState::CanonicalKey() const {
   return theta_p_.ToString() + "#" + negatives_.ToString();
 }

@@ -103,6 +103,14 @@ class InferenceState {
   };
   StateKey MakeStateKey() const;
 
+  /// Invariant audit (see util/check.h): θ_P and the antichain are each
+  /// internally canonical, of the right arity, every forbidden member lies
+  /// strictly below θ_P (ApplyLabel always inserts θ_P ∧ Part(s), and
+  /// RestrictTo clips the antichain whenever θ_P shrinks), θ_P itself stays
+  /// consistent, and with no positive example yet θ_P is still ⊤.
+  /// JIM_CHECK-fails on any violation.
+  void CheckInvariants() const;
+
  private:
   size_t num_attributes_;
   lat::Partition theta_p_;

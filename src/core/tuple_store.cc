@@ -1,5 +1,9 @@
 #include "core/tuple_store.h"
 
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
 #include "util/logging.h"
@@ -80,6 +84,53 @@ void RelationTupleStore::TupleCodes(size_t t, uint32_t* out) const {
 
 size_t RelationTupleStore::ApproxBytes() const {
   return codes_.capacity() * sizeof(uint32_t) + dictionary_.ApproxBytes();
+}
+
+void CheckStoreInvariants(const TupleStore& store) {
+  const size_t num_tuples = store.num_tuples();
+  const size_t n = store.num_attributes();
+  JIM_CHECK_EQ(store.schema().num_attributes(), n);
+  // code ↔ value agreement, built up cell by cell (lookup-only maps; the
+  // audit's verdict is order-independent).
+  std::unordered_map<uint32_t, rel::Value> value_of_code;
+  std::unordered_map<rel::Value, uint32_t, rel::ValueHash> code_of_value;
+  std::unordered_set<uint32_t> nan_codes;
+  std::vector<uint32_t> row(n);
+  for (size_t t = 0; t < num_tuples; ++t) {
+    store.TupleCodes(t, row.data());
+    for (size_t a = 0; a < n; ++a) {
+      const uint32_t code = store.code(t, a);
+      JIM_CHECK_EQ(row[a], code)
+          << "TupleCodes disagrees with code() at cell (" << t << ", " << a
+          << ")";
+      const rel::Value value = store.DecodeValue(t, a);
+      // kNullCode discipline: the sentinel exactly marks NULL cells.
+      JIM_CHECK_EQ(value.is_null(), code == rel::kNullCode)
+          << "NULL/kNullCode mismatch at cell (" << t << ", " << a << ")";
+      if (value.is_null()) continue;
+      if (value.type() == rel::ValueType::kDouble &&
+          std::isnan(value.AsDouble())) {
+        // NaN ≠ NaN: every NaN cell must carry its own code, and that code
+        // can never also serve a comparable value.
+        JIM_CHECK(nan_codes.insert(code).second)
+            << "NaN cells share code " << code << " at (" << t << ", " << a
+            << ")";
+        JIM_CHECK(value_of_code.find(code) == value_of_code.end())
+            << "code " << code << " serves both NaN and a comparable value";
+        continue;
+      }
+      JIM_CHECK(nan_codes.find(code) == nan_codes.end())
+          << "code " << code << " serves both NaN and a comparable value";
+      const auto [code_it, fresh_code] = value_of_code.emplace(code, value);
+      JIM_CHECK(fresh_code || code_it->second.Equals(value))
+          << "code " << code << " decodes to unequal values at cell (" << t
+          << ", " << a << ")";
+      const auto [value_it, fresh_value] = code_of_value.emplace(value, code);
+      JIM_CHECK(fresh_value || value_it->second == code)
+          << "value '" << value.ToString() << "' carries two codes at cell ("
+          << t << ", " << a << ")";
+    }
+  }
 }
 
 std::shared_ptr<const TupleStore> MakeRelationStore(

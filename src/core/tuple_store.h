@@ -115,6 +115,19 @@ class RelationTupleStore final : public TupleStore {
   size_t stride_ = 0;
 };
 
+/// Invariant audit of the TupleStore *contract* on any backend (see
+/// util/check.h): decodes every cell once and JIM_CHECK-fails unless
+///   - code == rel::kNullCode exactly for NULL cells;
+///   - TupleCodes agrees with per-cell code() tuple by tuple;
+///   - code equality is strict Value equality across all cells: equal codes
+///     decode to Equals values, each non-NaN value maps to exactly one code,
+///     and NaN cells (never equal, themselves included) all carry distinct
+///     codes.
+/// O(N·n) decodes + hashing — test/audit-mode cost, not a hot path. The
+/// parity and storage suites run it over every backend (relation-backed,
+/// factorized, mapped, sharded).
+void CheckStoreInvariants(const TupleStore& store);
+
 /// Wraps `relation` into a RelationTupleStore (large relations encode on
 /// the shared pool — see the single-argument constructor).
 std::shared_ptr<const TupleStore> MakeRelationStore(

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace jim::lat {
 
 void Antichain::InsertOrdered(const Partition& p) {
@@ -77,6 +79,25 @@ void Antichain::RestrictTo(const Partition& bound) {
   // meets can be dominated by kept members or by each other.
   for (const Partition* m : to_meet) {
     Insert(m->Meet(bound));
+  }
+}
+
+void Antichain::CheckInvariants() const {
+  for (size_t i = 0; i < members_.size(); ++i) {
+    members_[i].CheckInvariants();
+    if (i > 0) {
+      JIM_CHECK_EQ(members_[i].num_elements(), members_[0].num_elements())
+          << "mixed-arity antichain member " << i;
+      // The rank early exits in Insert/DominatedBy assume this order.
+      JIM_CHECK_GE(members_[i - 1].Rank(), members_[i].Rank())
+          << "rank order violated between members " << i - 1 << " and " << i;
+    }
+    for (size_t j = 0; j < i; ++j) {
+      JIM_CHECK(!members_[i].Refines(members_[j]) &&
+                !members_[j].Refines(members_[i]))
+          << "comparable members " << members_[j].ToString() << " and "
+          << members_[i].ToString();
+    }
   }
 }
 

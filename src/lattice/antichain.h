@@ -55,6 +55,12 @@ class Antichain {
   /// Members ordered by rank, descending (ties in insertion order).
   const std::vector<Partition>& members() const { return members_; }
 
+  /// Invariant audit (see util/check.h): JIM_CHECK-fails unless members are
+  /// each canonical, all of one arity, ordered by descending rank, and
+  /// pairwise incomparable under refinement (the defining antichain
+  /// property). O(size² · n); callable from tests and JIM_AUDIT sites.
+  void CheckInvariants() const;
+
   /// Canonical rendering (members sorted by RGS), usable as a memo key.
   std::string ToString() const;
 

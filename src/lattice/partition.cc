@@ -253,6 +253,28 @@ std::string Partition::ToString() const {
   return out;
 }
 
+void Partition::CheckInvariants() const {
+  // Restricted growth string: the first element is block 0, and every label
+  // is at most one past the running maximum (block ids appear in order of
+  // first occurrence, with no gaps).
+  int max_seen = -1;
+  for (size_t i = 0; i < block_of_.size(); ++i) {
+    JIM_CHECK_GE(block_of_[i], 0) << "negative block id at element " << i;
+    JIM_CHECK_LE(block_of_[i], max_seen + 1)
+        << "non-canonical RGS at element " << i << " of " << ToString();
+    max_seen = std::max(max_seen, block_of_[i]);
+  }
+  JIM_CHECK_EQ(num_blocks_, static_cast<size_t>(max_seen + 1))
+      << "cached block count disagrees with the RGS of " << ToString();
+  // The construction-time fingerprint must equal a from-scratch recompute —
+  // a mismatch means some mutation path skipped FinishCanonical.
+  const uint64_t recomputed = util::Fnv1a64(
+      block_of_.begin(), block_of_.end(),
+      util::kFnv1a64OffsetBasis ^ (block_of_.size() * util::kFnv1a64Prime));
+  JIM_CHECK_EQ(fingerprint_, recomputed)
+      << "stale fingerprint on " << ToString();
+}
+
 size_t Partition::Hash() const {
   // The construction-time fingerprint: hashing is O(1) instead of a rescan.
   return static_cast<size_t>(fingerprint_);

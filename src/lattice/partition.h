@@ -159,6 +159,12 @@ class Partition {
   /// True iff all blocks are singletons (the empty predicate).
   bool IsSingletons() const { return num_blocks_ == block_of_.size(); }
 
+  /// Invariant audit (see util/check.h): JIM_CHECK-fails unless block_of_ is
+  /// a well-formed restricted growth string and the cached num_blocks_ /
+  /// fingerprint_ match a from-scratch recompute. O(n); callable from tests
+  /// and from JIM_AUDIT sites.
+  void CheckInvariants() const;
+
   /// e.g. "{0,3|1|2,4}". Stable canonical rendering.
   std::string ToString() const;
 

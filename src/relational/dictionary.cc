@@ -36,6 +36,30 @@ std::optional<uint32_t> Dictionary::Find(const Value& value) const {
   return it->second;
 }
 
+void Dictionary::CheckInvariants() const {
+  size_t nan_values = 0;
+  for (size_t c = 0; c < values_.size(); ++c) {
+    const Value& value = values_[c];
+    JIM_CHECK(!value.is_null()) << "NULL stored under code " << c;
+    const bool is_nan = value.type() == ValueType::kDouble &&
+                        std::isnan(value.AsDouble());
+    if (is_nan) {
+      // Fresh-code-per-occurrence discipline: NaNs bypass the reverse map.
+      ++nan_values;
+      continue;
+    }
+    const std::optional<uint32_t> found = Find(value);
+    JIM_CHECK(found.has_value() && *found == c)
+        << "value→code lookup of '" << value.ToString()
+        << "' does not return its code " << c;
+  }
+  // Forward and reverse directions cover each other exactly (modulo NaNs):
+  // every non-NaN code looked itself up above, so a size match means the
+  // reverse map holds those entries and nothing else.
+  JIM_CHECK_EQ(code_of_.size() + nan_values, values_.size())
+      << "reverse map out of step with the value table";
+}
+
 size_t Dictionary::ApproxBytes() const {
   size_t bytes = values_.capacity() * sizeof(Value) +
                  code_of_.size() * (sizeof(Value) + sizeof(uint32_t) +

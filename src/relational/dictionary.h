@@ -46,6 +46,12 @@ class Dictionary {
   /// Rough heap footprint (for the bench memory accounting).
   size_t ApproxBytes() const;
 
+  /// Invariant audit (see util/check.h): codes are dense, no value is NULL,
+  /// the code→value and value→code directions agree entry for entry, and
+  /// NaN values (which never compare equal) stay out of the reverse map —
+  /// one fresh code per occurrence. JIM_CHECK-fails on any violation.
+  void CheckInvariants() const;
+
  private:
   std::unordered_map<Value, uint32_t, ValueHash> code_of_;
   std::vector<Value> values_;

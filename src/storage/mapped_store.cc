@@ -363,6 +363,37 @@ rel::Value MappedTupleStore::DecodeValue(size_t t, size_t a) const {
   return *std::move(value);
 }
 
+void MappedTupleStore::CheckInvariants() const {
+  JIM_CHECK(data_ != nullptr);
+  JIM_CHECK_GE(size_, kHeaderBytes);
+  JIM_CHECK_EQ(column_codes_.size(), schema_.num_attributes());
+  // Every dictionary offset points at a record strictly inside the file and
+  // past the header (no value record can live in the header region).
+  for (size_t code = 0; code < value_offsets_.size(); ++code) {
+    JIM_CHECK_GE(value_offsets_[code], kHeaderBytes)
+        << "shared code " << code << " offset inside the header";
+    JIM_CHECK_LT(value_offsets_[code], size_)
+        << "shared code " << code << " offset past end of file";
+  }
+  // Every mapped code array lies inside the mapping and serves only shared
+  // codes (or the NULL sentinel) — the precondition that makes DecodeValue's
+  // bare table index safe.
+  const uint8_t* const end = data_ + size_;
+  for (size_t a = 0; a < column_codes_.size(); ++a) {
+    const uint8_t* const first =
+        reinterpret_cast<const uint8_t*>(column_codes_[a]);
+    JIM_CHECK(first >= data_ &&
+              first + num_tuples_ * sizeof(uint32_t) <= end)
+        << "code array " << a << " escapes the mapping";
+    for (size_t t = 0; t < num_tuples_; ++t) {
+      const uint32_t c = column_codes_[a][t];
+      JIM_CHECK(c == rel::kNullCode || c < value_offsets_.size())
+          << "code array " << a << " tuple " << t
+          << " holds out-of-range code " << c;
+    }
+  }
+}
+
 size_t MappedTupleStore::ApproxBytes() const {
   size_t bytes = value_offsets_.capacity() * sizeof(uint64_t) +
                  column_codes_.capacity() * sizeof(const uint32_t*) +

@@ -58,6 +58,15 @@ class MappedTupleStore final : public core::TupleStore {
   /// bench reports file_bytes() next to this to show the split.
   size_t ApproxBytes() const override;
 
+  /// Invariant audit (see util/check.h): the open-time index structures are
+  /// coherent with the mapping — one code array per attribute, every mapped
+  /// code inside the shared dictionary (or kNullCode), every dictionary
+  /// offset inside the file, and every shared code decodable. Open already
+  /// validated the bytes once; this re-derives the index-side contract, so
+  /// tests can pin that validation and indexing never drift apart.
+  /// O(N·n) integer reads + O(distinct) decodes.
+  void CheckInvariants() const;
+
   /// Total size of the backing file.
   size_t file_bytes() const { return size_; }
   /// Distinct non-NULL values in the file's shared dictionary.

@@ -148,6 +148,55 @@ rel::Value ShardedTupleStore::DecodeValue(size_t t, size_t a) const {
   return shards_[s]->DecodeValue(local_t, a);
 }
 
+void ShardedTupleStore::CheckInvariants() const {
+  // Prefix-sum routing table: one span per shard, monotone, anchored at 0.
+  JIM_CHECK(!shards_.empty());
+  JIM_CHECK_EQ(offsets_.size(), shards_.size() + 1);
+  JIM_CHECK_EQ(offsets_.front(), size_t{0});
+  JIM_CHECK_EQ(remaps_.size(), shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    JIM_CHECK(shards_[s] != nullptr);
+    JIM_CHECK(shards_[s]->schema() == shards_[0]->schema())
+        << "shard " << s << " schema drifted after composition";
+    JIM_CHECK_EQ(offsets_[s + 1] - offsets_[s], shards_[s]->num_tuples())
+        << "offset span of shard " << s << " disagrees with its tuple count";
+    // Locate round-trips both span boundaries of every non-empty shard.
+    if (shards_[s]->num_tuples() == 0) continue;
+    const auto first = Locate(offsets_[s]);
+    JIM_CHECK(first.first == s && first.second == 0)
+        << "Locate misroutes the first tuple of shard " << s;
+    const auto last = Locate(offsets_[s + 1] - 1);
+    JIM_CHECK(last.first == s &&
+              last.second == shards_[s]->num_tuples() - 1)
+        << "Locate misroutes the last tuple of shard " << s;
+  }
+  // Remap discipline over every live cell: NULL routes through untouched,
+  // and every non-NULL local code lands inside the composite dictionary.
+  const size_t columns = num_attributes();
+  std::vector<uint32_t> local_row(columns), composite_row(columns);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const core::TupleStore& shard = *shards_[s];
+    for (size_t local_t = 0; local_t < shard.num_tuples(); ++local_t) {
+      shard.TupleCodes(local_t, local_row.data());
+      TupleCodes(offsets_[s] + local_t, composite_row.data());
+      for (size_t a = 0; a < columns; ++a) {
+        if (local_row[a] == rel::kNullCode) {
+          JIM_CHECK_EQ(composite_row[a], rel::kNullCode)
+              << "NULL not preserved at shard " << s << " cell (" << local_t
+              << ", " << a << ")";
+        } else {
+          JIM_CHECK_LT(composite_row[a], composite_dict_size_)
+              << "composite code out of dictionary range at shard " << s
+              << " cell (" << local_t << ", " << a << ")";
+          JIM_CHECK_EQ(composite_row[a], remaps_[s].Map(local_row[a]))
+              << "code() and remap disagree at shard " << s << " cell ("
+              << local_t << ", " << a << ")";
+        }
+      }
+    }
+  }
+}
+
 size_t ShardedTupleStore::ApproxBytes() const {
   size_t bytes = offsets_.capacity() * sizeof(size_t);
   for (const CodeRemap& remap : remaps_) bytes += remap.ApproxBytes();

@@ -65,6 +65,14 @@ class ShardedTupleStore final : public core::TupleStore {
   /// Distinct non-NULL values across all shards after unification.
   size_t composite_dictionary_size() const { return composite_dict_size_; }
 
+  /// Invariant audit (see util/check.h): the prefix-sum routing table is
+  /// monotone and sized num_shards()+1 with per-shard spans matching the
+  /// shards' tuple counts, Locate round-trips every boundary, and each
+  /// shard's remap sends every live local code to a composite code below
+  /// composite_dictionary_size() while NULL routes through untouched.
+  /// O(Σ tuples·attrs) integer reads; JIM_CHECK-fails on any violation.
+  void CheckInvariants() const;
+
  private:
   /// Shard-local shared code → composite code. Dense array when the shard's
   /// code space is dense (every store this repo writes), hash fallback so an

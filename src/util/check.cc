@@ -1,0 +1,40 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace jim::util {
+
+namespace {
+
+/// -1 = not yet resolved, 0 = off, 1 = on. Relaxed ordering suffices: the
+/// flag is monotone per process modulo explicit Set calls, and a stale read
+/// can at worst run (or skip) one audit — never corrupt state.
+std::atomic<int> g_audit_state{-1};
+
+bool ResolveDefault() {
+#ifdef JIM_AUDIT_INVARIANTS
+  return true;
+#else
+  const char* env = std::getenv("JIM_AUDIT_INVARIANTS");
+  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+#endif
+}
+
+}  // namespace
+
+bool AuditInvariantsEnabled() {
+  int state = g_audit_state.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = ResolveDefault() ? 1 : 0;
+    g_audit_state.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void SetAuditInvariants(bool enabled) {
+  g_audit_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace jim::util

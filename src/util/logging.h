@@ -59,37 +59,11 @@ class LogMessageVoidify {
       ::jim::util::LogLevel::severity, __FILE__, __LINE__)          \
       .stream()
 
-/// Aborts with a message when `condition` is false. Always on (release too):
-/// invariant violations in the inference engine are programming errors and
-/// must not silently corrupt results. Additional context can be streamed:
-///   JIM_CHECK(n > 0) << "instance is empty";
-#define JIM_CHECK(condition)                                            \
-  (condition) ? (void)0                                                 \
-              : ::jim::util::internal_logging::LogMessageVoidify() &    \
-                    ::jim::util::internal_logging::LogMessage(          \
-                        ::jim::util::LogLevel::kFatal, __FILE__,        \
-                        __LINE__)                                       \
-                        .stream()                                       \
-                    << "Check failed: " #condition " "
-
-#define JIM_CHECK_OK(expr)                                             \
-  do {                                                                 \
-    const auto& _s = (expr);                                           \
-    JIM_CHECK(_s.ok()) << _s.ToString();                               \
-  } while (false)
-
-#define JIM_CHECK_EQ(a, b) JIM_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
-#define JIM_CHECK_NE(a, b) JIM_CHECK((a) != (b))
-#define JIM_CHECK_LT(a, b) JIM_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
-#define JIM_CHECK_LE(a, b) JIM_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
-#define JIM_CHECK_GT(a, b) JIM_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
-#define JIM_CHECK_GE(a, b) JIM_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
-
-#ifdef NDEBUG
-#define JIM_DCHECK(condition) \
-  while (false) JIM_CHECK(condition)
-#else
-#define JIM_DCHECK(condition) JIM_CHECK(condition)
-#endif
+// The JIM_CHECK / JIM_DCHECK assertion family lives in util/check.h (which
+// needs the LogMessage machinery above, hence the mutual include — both
+// headers are guard-protected, so either include order works). Pulled in
+// here so the many existing `#include "util/logging.h"` users keep seeing
+// the macros.
+#include "util/check.h"
 
 #endif  // JIM_UTIL_LOGGING_H_

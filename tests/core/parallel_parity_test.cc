@@ -12,9 +12,19 @@
 #include "util/rng.h"
 #include "workload/synthetic.h"
 #include "workload/travel.h"
+#include "util/check.h"
 
 namespace jim::core {
 namespace {
+
+// Parity suites run with the invariant auditor on (see util/check.h): every
+// JIM_AUDIT checkpoint inside the engine re-derives its CheckInvariants
+// contract while the parity assertions run, so a divergence is caught at
+// the mutation that introduced it, not at the final transcript diff.
+const bool kAuditInvariantsOn = [] {
+  ::jim::util::SetAuditInvariants(true);
+  return true;
+}();
 
 workload::SyntheticWorkload MakeWorkload(uint64_t seed, size_t tuples = 300,
                                          size_t attrs = 6) {

@@ -1,0 +1,123 @@
+#include "fuzz/fuzz_targets.h"
+
+#include <fstream>
+#include <vector>
+
+#include "core/join_predicate.h"
+#include "relational/dictionary.h"
+#include "relational/schema.h"
+#include "storage/mapped_store.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace jim::fuzz {
+
+namespace {
+
+/// The schema every goal-parse iteration runs against: the paper's running
+/// example plus a qualified attribute, so bare and qualified spellings both
+/// have something to resolve to.
+const rel::Schema& GoalSchema() {
+  static const rel::Schema* schema = [] {
+    auto* s = new rel::Schema();
+    s->AddAttribute({"From", rel::ValueType::kString, ""});
+    s->AddAttribute({"To", rel::ValueType::kString, ""});
+    s->AddAttribute({"City", rel::ValueType::kString, "Hotels"});
+    s->AddAttribute({"Airline", rel::ValueType::kString, ""});
+    s->AddAttribute({"Discount", rel::ValueType::kString, ""});
+    return s;
+  }();
+  return *schema;
+}
+
+}  // namespace
+
+int FuzzJimcImage(const uint8_t* data, size_t size,
+                  const std::string& scratch_path) {
+  {
+    std::ofstream out(scratch_path, std::ios::binary | std::ios::trunc);
+    JIM_CHECK(out.good()) << "cannot stage fuzz image at " << scratch_path;
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    JIM_CHECK(out.good()) << "short write staging fuzz image";
+  }
+  auto opened = storage::MappedTupleStore::Open(scratch_path);
+  if (!opened.ok()) {
+    const util::Status& status = opened.status();
+    // A rejection must be one of Open's documented error codes — an
+    // unknown code would mean some validation branch leaks an untyped or
+    // mis-typed failure.
+    const util::StatusCode code = status.code();
+    JIM_CHECK(code == util::StatusCode::kInvalidArgument ||
+              code == util::StatusCode::kNotFound ||
+              code == util::StatusCode::kInternal ||
+              code == util::StatusCode::kUnimplemented)
+        << "unexpected rejection code: " << status.ToString();
+    JIM_CHECK(!status.message().empty())
+        << "rejection without a diagnostic message";
+    return 0;
+  }
+
+  // Accepted: Open promised every later access is safe, so take it at its
+  // word and read everything. The sanitizers (and the mapping bounds) are
+  // the referee; `mix` defeats dead-read elimination.
+  const auto& store = **opened;
+  JIM_CHECK_EQ(store.num_attributes(), store.schema().num_attributes());
+  uint64_t mix = store.name().size();
+  const size_t columns = store.num_attributes();
+  std::vector<uint32_t> row(columns);
+  for (size_t t = 0; t < store.num_tuples(); ++t) {
+    store.TupleCodes(t, row.data());
+    for (size_t a = 0; a < columns; ++a) {
+      JIM_CHECK_EQ(row[a], store.code(t, a))
+          << "TupleCodes vs code() drift at (" << t << ", " << a << ")";
+      const rel::Value value = store.DecodeValue(t, a);
+      JIM_CHECK_EQ(value.is_null(), row[a] == rel::kNullCode)
+          << "NULL sentinel drift at (" << t << ", " << a << ")";
+      mix = mix * 1099511628211ull + row[a];
+      if (!value.is_null()) mix += value.ToString().size();
+    }
+  }
+  store.CheckInvariants();
+  // Volatile sink: the cell scan above must not be dead-read-eliminated.
+  volatile uint64_t sink = mix;
+  (void)sink;
+  return 1;
+}
+
+int FuzzGoalParse(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto parsed = core::JoinPredicate::Parse(GoalSchema(), text);
+  if (!parsed.ok()) {
+    // Malformed syntax is kInvalidArgument; a well-formed equality naming
+    // an attribute the schema lacks is kNotFound. Anything else leaks.
+    const util::StatusCode code = parsed.status().code();
+    JIM_CHECK(code == util::StatusCode::kInvalidArgument ||
+              code == util::StatusCode::kNotFound)
+        << "unexpected goal rejection code: " << parsed.status().ToString();
+    JIM_CHECK(!parsed.status().message().empty())
+        << "goal rejection without a diagnostic message";
+    return 0;
+  }
+  const core::JoinPredicate& predicate = *parsed;
+  // Whatever Parse accepts must be a canonical partition over the schema.
+  predicate.partition().CheckInvariants();
+  JIM_CHECK_EQ(predicate.num_attributes(),
+               GoalSchema().num_attributes());
+  (void)predicate.ToString();
+  // Non-empty predicates must round-trip through their SQL rendering (the
+  // empty predicate renders as "TRUE", which Parse deliberately rejects).
+  if (!predicate.IsEmptyPredicate()) {
+    auto reparsed =
+        core::JoinPredicate::Parse(GoalSchema(), predicate.ToSqlWhere());
+    JIM_CHECK(reparsed.ok())
+        << "ToSqlWhere of an accepted goal does not re-parse: "
+        << predicate.ToSqlWhere();
+    JIM_CHECK(*reparsed == predicate)
+        << "goal round trip changed the predicate: " << predicate.ToString()
+        << " vs " << reparsed->ToString();
+  }
+  return 1;
+}
+
+}  // namespace jim::fuzz

@@ -1,0 +1,34 @@
+#ifndef JIM_TESTS_FUZZ_FUZZ_TARGETS_H_
+#define JIM_TESTS_FUZZ_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+// The two fuzz targets behind both drivers (the deterministic
+// fuzz_jimc_main and the optional libFuzzer entry point). Each target's
+// contract is "any byte string in, no undefined behavior out": every
+// rejection must be a *typed* util::Status, every acceptance must yield an
+// object whose read paths are safe to exercise end to end. The targets
+// JIM_CHECK those contracts themselves, so a sanitizer report or a check
+// failure is a finding and a clean return is a pass.
+namespace jim::fuzz {
+
+/// Writes `size` bytes to `scratch_path` and feeds the file to
+/// storage::MappedTupleStore::Open. Rejections must carry a known
+/// StatusCode and a non-empty message; accepted stores get every cell read
+/// through code()/TupleCodes()/DecodeValue() with the NULL sentinel
+/// cross-checked. Returns 1 if the image was accepted, 0 if rejected.
+int FuzzJimcImage(const uint8_t* data, size_t size,
+                  const std::string& scratch_path);
+
+/// Feeds `size` bytes as a --goal predicate string to
+/// core::JoinPredicate::Parse over a fixed five-attribute schema.
+/// Rejections must be kInvalidArgument with a message; accepted predicates
+/// must hold a canonical partition and survive a ToSqlWhere → Parse round
+/// trip. Returns 1 if parsed, 0 if rejected.
+int FuzzGoalParse(const uint8_t* data, size_t size);
+
+}  // namespace jim::fuzz
+
+#endif  // JIM_TESTS_FUZZ_FUZZ_TARGETS_H_

@@ -10,9 +10,19 @@
 #include "lattice/antichain.h"
 #include "lattice/partition.h"
 #include "util/rng.h"
+#include "util/check.h"
 
 namespace jim::lat {
 namespace {
+
+// Parity suites run with the invariant auditor on (see util/check.h): every
+// JIM_AUDIT checkpoint inside the engine re-derives its CheckInvariants
+// contract while the parity assertions run, so a divergence is caught at
+// the mutation that introduced it, not at the final transcript diff.
+const bool kAuditInvariantsOn = [] {
+  ::jim::util::SetAuditInvariants(true);
+  return true;
+}();
 
 Partition RandomPartition(size_t n, util::Rng& rng) {
   // Labels drawn from a domain about half the size of n create a healthy mix

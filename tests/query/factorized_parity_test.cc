@@ -21,9 +21,19 @@
 #include "util/string_util.h"
 #include "workload/tpch.h"
 #include "workload/travel.h"
+#include "util/check.h"
 
 namespace jim::query {
 namespace {
+
+// Parity suites run with the invariant auditor on (see util/check.h): every
+// JIM_AUDIT checkpoint inside the engine re-derives its CheckInvariants
+// contract while the parity assertions run, so a divergence is caught at
+// the mutation that introduced it, not at the final transcript diff.
+const bool kAuditInvariantsOn = [] {
+  ::jim::util::SetAuditInvariants(true);
+  return true;
+}();
 
 /// The pre-factorization UniversalTable::Build, kept as the parity
 /// reference: fold the product left to right through SampledCrossProduct

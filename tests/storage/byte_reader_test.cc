@@ -1,0 +1,151 @@
+// Boundary behavior of the JIMC byte-level primitives: ByteReader reads
+// that end exactly at the buffer edge succeed, one byte past is a typed
+// truncation error naming the reading context, zero-length payloads and
+// max-u32 values round-trip, and the Append* writers are little-endian
+// regardless of host arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "relational/value.h"
+#include "storage/format.h"
+#include "util/status.h"
+
+namespace jim::storage {
+namespace {
+
+ByteReader ReaderOver(const std::string& bytes, const char* context) {
+  return ByteReader(reinterpret_cast<const uint8_t*>(bytes.data()),
+                    bytes.size(), context);
+}
+
+TEST(ByteReaderTest, ReadsEndingExactlyAtTheBufferEdgeSucceed) {
+  std::string bytes;
+  AppendU8(bytes, 0x7F);
+  AppendU32(bytes, 0xDEADBEEFu);
+  AppendU64(bytes, 0x0123456789ABCDEFull);
+  ByteReader reader = ReaderOver(bytes, "edge");
+  EXPECT_EQ(reader.ReadU8().value(), 0x7F);
+  EXPECT_EQ(reader.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(reader.position(), bytes.size());
+  // The cursor sits exactly at the end: any further read is truncation, and
+  // the error names the context and stays typed.
+  const auto past_end = reader.ReadU8();
+  ASSERT_FALSE(past_end.ok());
+  EXPECT_EQ(past_end.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(past_end.status().message().find("edge"), std::string::npos)
+      << past_end.status().ToString();
+}
+
+TEST(ByteReaderTest, EachWidthTruncatesOneByteShort) {
+  std::string bytes;
+  AppendU64(bytes, ~uint64_t{0});
+  // For each width, a buffer one byte short must fail without advancing
+  // into garbage.
+  {
+    ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), 3,
+                      "u32 short");
+    EXPECT_FALSE(reader.ReadU32().ok());
+  }
+  {
+    ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), 7,
+                      "u64 short");
+    EXPECT_FALSE(reader.ReadU64().ok());
+  }
+  {
+    ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), 7,
+                      "double short");
+    EXPECT_FALSE(reader.ReadDouble().ok());
+  }
+  {
+    ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), 0,
+                      "u8 empty");
+    EXPECT_FALSE(reader.ReadU8().ok());
+  }
+}
+
+TEST(ByteReaderTest, ZeroLengthSectionsAndStringsAreValid) {
+  std::string bytes;
+  AppendLengthPrefixed(bytes, "");
+  ByteReader reader = ReaderOver(bytes, "empty string");
+  const auto empty = reader.ReadLengthPrefixed();
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_EQ(*empty, "");
+  EXPECT_EQ(reader.remaining(), 0u);
+
+  // A zero-byte reader is fine until the first read.
+  ByteReader nothing(nullptr, 0, "zero-length section");
+  EXPECT_EQ(nothing.remaining(), 0u);
+  const auto read = nothing.ReadU32();
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("zero-length section"),
+            std::string::npos);
+}
+
+TEST(ByteReaderTest, LengthPrefixLongerThanTheBufferIsTyped) {
+  std::string bytes;
+  AppendU32(bytes, std::numeric_limits<uint32_t>::max());  // length 2^32-1
+  bytes += "abc";
+  ByteReader reader = ReaderOver(bytes, "liar prefix");
+  const auto read = reader.ReadLengthPrefixed();
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ByteReaderTest, MaxU32ValuesRoundTrip) {
+  std::string bytes;
+  AppendU32(bytes, std::numeric_limits<uint32_t>::max());
+  AppendU32(bytes, 0);
+  AppendU64(bytes, std::numeric_limits<uint64_t>::max());
+  ByteReader reader = ReaderOver(bytes, "extremes");
+  EXPECT_EQ(reader.ReadU32().value(), std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(reader.ReadU32().value(), 0u);
+  EXPECT_EQ(reader.ReadU64().value(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ByteReaderTest, AppendersAreLittleEndianByteForByte) {
+  std::string bytes;
+  AppendU32(bytes, 0x0A0B0C0Du);
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 0x0D);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[1]), 0x0C);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[2]), 0x0B);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[3]), 0x0A);
+  bytes.clear();
+  AppendU64(bytes, 0x1122334455667788ull);
+  ASSERT_EQ(bytes.size(), 8u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 0x88);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[7]), 0x11);
+}
+
+TEST(ByteReaderTest, ValueRecordsRoundTripIncludingNaNBits) {
+  std::string bytes;
+  AppendValueRecord(bytes, rel::Value(int64_t{-42}));
+  AppendValueRecord(bytes, rel::Value(std::nan("")));
+  AppendValueRecord(bytes, rel::Value(std::string("x\0y", 3)));
+  ByteReader reader = ReaderOver(bytes, "records");
+  const auto integer = reader.ReadValueRecord();
+  ASSERT_TRUE(integer.ok());
+  EXPECT_EQ(integer->AsInt64(), -42);
+  const auto nan = reader.ReadValueRecord();
+  ASSERT_TRUE(nan.ok());
+  EXPECT_TRUE(std::isnan(nan->AsDouble()));
+  const auto text = reader.ReadValueRecord();
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->AsString(), std::string("x\0y", 3));
+  EXPECT_EQ(reader.remaining(), 0u);
+  // A record with an unknown tag must be rejected, not guessed at.
+  std::string bad;
+  AppendU8(bad, 0x77);
+  ByteReader bad_reader = ReaderOver(bad, "bad tag");
+  EXPECT_FALSE(bad_reader.ReadValueRecord().ok());
+}
+
+}  // namespace
+}  // namespace jim::storage

@@ -24,9 +24,19 @@
 #include "util/string_util.h"
 #include "workload/synthetic.h"
 #include "workload/travel.h"
+#include "util/check.h"
 
 namespace jim::storage {
 namespace {
+
+// Parity suites run with the invariant auditor on (see util/check.h): every
+// JIM_AUDIT checkpoint inside the engine re-derives its CheckInvariants
+// contract while the parity assertions run, so a divergence is caught at
+// the mutation that introduced it, not at the final transcript diff.
+const bool kAuditInvariantsOn = [] {
+  ::jim::util::SetAuditInvariants(true);
+  return true;
+}();
 
 using core::ExactOracle;
 using core::InferenceEngine;

@@ -32,6 +32,32 @@ TEST(StatusTest, FactoryFunctionsSetCodes) {
             StatusCode::kResourceExhausted);
 }
 
+TEST(StatusTest, StatusCodeToStringCoversEveryCode) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAlreadyExists),
+            "ALREADY_EXISTS");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FAILED_PRECONDITION");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusTest, ToStringFormatsCodeColonMessage) {
+  // The "<CODE>: <message>" shape is what fuzz targets, corruption tests,
+  // and the CLI print — pin it for every code, including edge messages.
+  EXPECT_EQ(NotFoundError("").ToString(), "NOT_FOUND: ");
+  EXPECT_EQ(InternalError("a: b: c").ToString(), "INTERNAL: a: b: c");
+  const std::string weird = "newline\nand\ttab";
+  EXPECT_EQ(InvalidArgumentError(weird).ToString(),
+            "INVALID_ARGUMENT: " + weird);
+}
+
 TEST(StatusTest, Equality) {
   EXPECT_EQ(OkStatus(), Status());
   EXPECT_EQ(NotFoundError("a"), NotFoundError("a"));

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Determinism and hygiene lint for the JIM library sources.
+
+The repo's core guarantee — identical inputs give bitwise-identical
+inference at any thread count — dies quietly the first time library code
+iterates a hash container, keys an ordered container on pointers, or mixes
+an address into anything observable. This lint keeps those patterns out of
+the library tree:
+
+  unordered-iteration   Range-for / .begin() iteration over a
+                        std::unordered_{map,set,multimap,multiset} variable
+                        in src/{core,lattice,query,exec,storage}. Lookups
+                        are fine; *iteration order* is the nondeterminism.
+  pointer-key           std::map/std::set keyed on a pointer type anywhere
+                        in src/ — ordered by address, i.e. by allocator
+                        mood.
+  nondet-call           rand()/srand()/time()/std::random_device/
+                        wall-clock now() in library code (benches and the
+                        CLI may time things; the library may not).
+  address-hash          reinterpret_cast of a pointer to an integer in
+                        src/ — the first step of every address-as-hash
+                        scheme (and of address-keyed logic in general).
+  include-guard         Header guard not of the canonical
+                        JIM_<PATH>_H_ form, missing, or with a stale
+                        trailing #endif comment.
+
+Findings are suppressed only through the checked-in allowlist
+(tools/lint_determinism_allowlist.txt), one entry per line:
+
+  <rule> <path> <substring that must appear in the flagged line>
+
+Every entry must carry a trailing "# why" justification and must still
+match at least one finding — stale entries fail the lint, so the allowlist
+can only shrink or stay justified. Exit status: 0 clean, 1 findings or
+stale entries, 2 usage error.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+ALLOWLIST_PATH = os.path.join(
+    REPO_ROOT, "tools", "lint_determinism_allowlist.txt")
+
+# unordered-iteration is scoped to the subsystems whose behavior feeds
+# inference results; rel/ and util/ expose no iteration-order-dependent
+# results and host the audit helpers that legitimately walk hash maps.
+ITERATION_SCOPE = ("core", "lattice", "query", "exec", "storage")
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(.+)\)\s*\{?\s*$")
+# Only begin(): every iterator walk needs it, while a bare end() is the
+# idiomatic `find(...) != end()` lookup, which is order-independent.
+BEGIN_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
+POINTER_KEY_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:map|set|multimap|multiset)\s*<\s*"
+    r"(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*")
+NONDET_RES = [
+    (re.compile(r"(?<![\w:.])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    # Any ::now() — clock aliases (using Clock = steady_clock) would dodge a
+    # list of concrete clock names.
+    (re.compile(r"::\s*now\s*\("), "clock now()"),
+]
+ADDRESS_HASH_RE = re.compile(
+    r"reinterpret_cast\s*<\s*(?:std\s*::\s*)?u?int(?:ptr_t|64_t)\s*>")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def strip_strings_and_comments(line):
+    """Drops string/char literals and // comments so regexes see only code."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def unordered_names(lines):
+    """Names declared (or aliased) with an unordered container type.
+
+    Angle brackets are matched properly, so nested value types don't derail
+    the identifier extraction.
+    """
+    names = set()
+    text = "\n".join(lines)
+    for match in UNORDERED_DECL_RE.finditer(text):
+        depth, i = 1, match.end()
+        while i < len(text) and depth > 0:
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+            i += 1
+        if depth != 0:
+            continue
+        tail = text[i:i + 200]
+        ident = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*[;={(,)]", tail)
+        if ident:
+            names.add(ident.group(1))
+    return names
+
+
+def base_identifier(expr):
+    """`store.seen_codes_` → seen_codes_; `seen` → seen; else None."""
+    expr = expr.strip().rstrip("{").strip()
+    match = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+    return match.group(1) if match else None
+
+
+def guard_token(rel_path):
+    # src/util/check.h -> JIM_UTIL_CHECK_H_
+    trimmed = rel_path[len("src/"):] if rel_path.startswith("src/") else rel_path
+    return "JIM_" + re.sub(r"[/.]", "_", trimmed).upper() + "_"
+
+
+def lint_file(rel_path, findings):
+    path = os.path.join(REPO_ROOT, rel_path)
+    with open(path, encoding="utf-8") as handle:
+        raw_lines = handle.read().splitlines()
+    code_lines = [strip_strings_and_comments(line) for line in raw_lines]
+
+    in_iteration_scope = any(
+        rel_path.startswith(f"src/{d}/") for d in ITERATION_SCOPE)
+    if in_iteration_scope:
+        unordered = unordered_names(code_lines)
+        for number, line in enumerate(code_lines, 1):
+            match = RANGE_FOR_RE.search(line)
+            if match:
+                base = base_identifier(match.group(1))
+                if base in unordered:
+                    findings.append((
+                        "unordered-iteration", rel_path, number,
+                        raw_lines[number - 1],
+                        f"range-for over unordered container '{base}' — "
+                        "iteration order is implementation noise"))
+            for begin in BEGIN_RE.finditer(line):
+                if begin.group(1) in unordered:
+                    findings.append((
+                        "unordered-iteration", rel_path, number,
+                        raw_lines[number - 1],
+                        f"iterator walk of unordered container "
+                        f"'{begin.group(1)}'"))
+
+    for number, line in enumerate(code_lines, 1):
+        if POINTER_KEY_RE.search(line):
+            findings.append((
+                "pointer-key", rel_path, number, raw_lines[number - 1],
+                "ordered container keyed on a pointer — ordered by "
+                "allocation address"))
+        for regex, what in NONDET_RES:
+            if regex.search(line):
+                findings.append((
+                    "nondet-call", rel_path, number, raw_lines[number - 1],
+                    f"{what} in library code"))
+        if ADDRESS_HASH_RE.search(line):
+            findings.append((
+                "address-hash", rel_path, number, raw_lines[number - 1],
+                "pointer reinterpreted as integer — address-dependent "
+                "behavior"))
+
+    if rel_path.endswith(".h"):
+        token = guard_token(rel_path)
+        ifndef = next((i for i, l in enumerate(code_lines)
+                       if l.strip().startswith("#ifndef")), None)
+        ok = (
+            ifndef is not None
+            and code_lines[ifndef].split() == ["#ifndef", token]
+            and ifndef + 1 < len(code_lines)
+            and code_lines[ifndef + 1].split() == ["#define", token])
+        if ok:
+            last = next((l for l in reversed(raw_lines)
+                         if l.strip().startswith("#endif")), "")
+            if last.strip() != f"#endif  // {token}":
+                findings.append((
+                    "include-guard", rel_path, len(raw_lines), last,
+                    f"trailing #endif comment is not '// {token}'"))
+        else:
+            findings.append((
+                "include-guard", rel_path,
+                (ifndef + 1) if ifndef is not None else 1,
+                raw_lines[ifndef] if ifndef is not None else "",
+                f"header guard is not the canonical {token}"))
+
+
+def load_allowlist():
+    entries = []
+    if not os.path.exists(ALLOWLIST_PATH):
+        return entries
+    with open(ALLOWLIST_PATH, encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "#" not in line:
+                print(f"lint_determinism: allowlist line {number} has no "
+                      "'# why' justification", file=sys.stderr)
+                sys.exit(2)
+            body, _ = line.split("#", 1)
+            parts = body.strip().split(None, 2)
+            if len(parts) != 3:
+                print(f"lint_determinism: allowlist line {number} is not "
+                      "'<rule> <path> <line substring>  # why'",
+                      file=sys.stderr)
+                sys.exit(2)
+            entries.append({"rule": parts[0], "path": parts[1],
+                            "substring": parts[2], "line": number,
+                            "used": False})
+    return entries
+
+
+def main():
+    findings = []
+    for dirpath, _, filenames in os.walk(SRC_ROOT):
+        for filename in sorted(filenames):
+            if not filename.endswith((".h", ".cc")):
+                continue
+            rel_path = os.path.relpath(
+                os.path.join(dirpath, filename), REPO_ROOT)
+            lint_file(rel_path, findings)
+
+    allowlist = load_allowlist()
+    reported = []
+    for rule, rel_path, number, line, message in sorted(findings):
+        suppressed = False
+        for entry in allowlist:
+            if (entry["rule"] == rule and entry["path"] == rel_path
+                    and entry["substring"] in line):
+                entry["used"] = True
+                suppressed = True
+        if not suppressed:
+            reported.append(
+                f"{rel_path}:{number}: [{rule}] {message}\n    {line.strip()}")
+
+    failed = False
+    for report in reported:
+        print(report)
+        failed = True
+    for entry in allowlist:
+        if not entry["used"]:
+            print(f"lint_determinism: stale allowlist entry at line "
+                  f"{entry['line']} ({entry['rule']} {entry['path']}) — "
+                  "matches nothing, remove it")
+            failed = True
+    if failed:
+        print(f"lint_determinism: FAILED "
+              f"({len(reported)} finding(s))", file=sys.stderr)
+        return 1
+    print(f"lint_determinism: OK ({len(findings)} finding(s) total, "
+          f"{len(allowlist)} allowlisted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
