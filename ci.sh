@@ -15,6 +15,10 @@
 #                        deterministic fuzz driver (5000 mutated JIMC
 #                        images / goal strings) under address+undefined
 #                        with every finding fatal (-fno-sanitize-recover)
+#   - CRASH stage        fault-injection + crash-recovery suites under
+#                        address sanitizer: every syscall index during
+#                        WriteStore/SaveCatalog crashed and replayed,
+#                        old-XOR-new proven on each reopened image
 #   - audit stage        -DJIM_AUDIT_INVARIANTS=ON build running the parity
 #                        suites with every engine mutation re-deriving its
 #                        CheckInvariants contract
@@ -22,7 +26,8 @@
 #
 # Sanitizer stages probe the toolchain first (compile-and-link of a trivial
 # program under the flag) and auto-skip with a loud warning when the
-# runtime is missing — JIM_SKIP_TSAN/ASAN/UBSAN/AUDIT=1 still force-skip.
+# runtime is missing — JIM_SKIP_TSAN/ASAN/UBSAN/CRASH/AUDIT=1 still
+# force-skip.
 set -euxo pipefail
 cd "$(dirname "$0")"
 
@@ -148,6 +153,24 @@ else
   # goal strings, every outcome a typed Status, under ASAN+UBSAN with
   # findings fatal. Reproduce any failure with the printed seed.
   ./build-ubsan/fuzz_jimc_main --seed=1 --iterations=5000
+fi
+
+# --- CRASH stage (fault injection + crash recovery under ASAN) -----------
+# Reuses the ASAN tree: the crash-point enumeration (every syscall index
+# during WriteStore and SaveCatalog) and the torn-write replays are exactly
+# where a latent out-of-bounds read in recovery code would hide.
+if [[ "${JIM_SKIP_CRASH:-0}" == "1" ]]; then
+  warn_skip "JIM_SKIP_CRASH=1" "CRASH"
+elif ! sanitizer_available address; then
+  warn_skip "toolchain cannot link -fsanitize=address (libasan missing?)" \
+    "CRASH"
+else
+  cmake -B build-asan -S . -DJIM_SANITIZE=address -DJIM_WERROR=ON \
+    -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j --target \
+    storage_fault_env_test storage_crash_recovery_test
+  (cd build-asan && ctest --output-on-failure -j"$(nproc)" \
+    -R 'FaultEnv|PosixEnv|CrashRecovery')
 fi
 
 # --- invariant-audit stage -----------------------------------------------

@@ -69,8 +69,23 @@ util::StatusOr<JoinPredicate> JoinPredicate::Parse(const rel::Schema& schema,
     }
     const auto left = util::StripWhitespace(sides[0]);
     const auto right = util::StripWhitespace(sides[1]);
-    ASSIGN_OR_RETURN(size_t left_index, schema.IndexOf(left));
-    ASSIGN_OR_RETURN(size_t right_index, schema.IndexOf(right));
+    // An unknown attribute name is malformed *input text*, not a missing
+    // resource: report kInvalidArgument like every other parse failure
+    // (kNotFound is reserved for absent files/relations, and callers route
+    // on that distinction).
+    const auto resolve = [&schema](std::string_view side)
+        -> util::StatusOr<size_t> {
+      auto index = schema.IndexOf(side);
+      if (!index.ok()) {
+        return util::InvalidArgumentError(
+            "unknown attribute '" + std::string(side) +
+            "' in join predicate (" + std::string(index.status().message()) +
+            ")");
+      }
+      return index;
+    };
+    ASSIGN_OR_RETURN(size_t left_index, resolve(left));
+    ASSIGN_OR_RETURN(size_t right_index, resolve(right));
     pairs.emplace_back(left_index, right_index);
   }
   ASSIGN_OR_RETURN(

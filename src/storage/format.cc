@@ -1,15 +1,8 @@
 #include "storage/format.h"
 
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 
 #include "util/string_util.h"
-
-#if !defined(_WIN32)
-#include <fcntl.h>
-#include <unistd.h>
-#endif
 
 namespace jim::storage {
 
@@ -21,82 +14,6 @@ uint64_t Fnv1a64(const void* data, size_t size) {
     hash *= 1099511628211ull;
   }
   return hash;
-}
-
-util::Status SyncPath(const std::string& path, bool directory) {
-#if defined(_WIN32)
-  (void)path;
-  (void)directory;
-  return util::OkStatus();
-#else
-  const int fd = ::open(path.c_str(),
-                        directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
-  if (fd < 0) {
-    return util::InternalError("cannot open " + path + " for fsync");
-  }
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return util::InternalError("fsync failed on " + path);
-  return util::OkStatus();
-#endif
-}
-
-util::Status RenameReplacing(const std::string& from, const std::string& to) {
-#if defined(_WIN32)
-  std::remove(to.c_str());
-#endif
-  if (std::rename(from.c_str(), to.c_str()) != 0) {
-    std::remove(from.c_str());
-    return util::InternalError("cannot rename " + from + " into place");
-  }
-  return util::OkStatus();
-}
-
-util::Status WriteFileAtomicallyWith(
-    const std::string& path,
-    const std::function<util::Status(std::ostream&)>& write) {
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return util::InternalError("cannot open " + tmp_path + " for writing");
-    }
-    util::Status written = write(out);
-    if (written.ok()) {
-      out.flush();
-      if (!out.good()) {
-        written = util::InternalError("write to " + tmp_path + " failed");
-      }
-    }
-    if (!written.ok()) {
-      out.close();
-      std::remove(tmp_path.c_str());
-      return written;
-    }
-  }
-  {
-    // Data blocks must hit stable storage before the rename is journaled,
-    // or a power cut could leave the final name pointing at garbage with
-    // the previous good file already gone.
-    const util::Status synced = SyncPath(tmp_path, /*directory=*/false);
-    if (!synced.ok()) {
-      std::remove(tmp_path.c_str());
-      return synced;
-    }
-  }
-  RETURN_IF_ERROR(RenameReplacing(tmp_path, path));
-  // Persist the rename itself (the directory entry).
-  const size_t slash = path.find_last_of('/');
-  return SyncPath(slash == std::string::npos ? "." : path.substr(0, slash),
-                  /*directory=*/true);
-}
-
-util::Status WriteFileAtomically(const std::string& path,
-                                 const std::string& contents) {
-  return WriteFileAtomicallyWith(path, [&contents](std::ostream& out) {
-    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-    return util::OkStatus();
-  });
 }
 
 void AppendU8(std::string& out, uint8_t v) {

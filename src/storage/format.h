@@ -2,8 +2,6 @@
 #define JIM_STORAGE_FORMAT_H_
 
 #include <cstdint>
-#include <functional>
-#include <iosfwd>
 #include <string>
 
 #include "relational/value.h"
@@ -72,30 +70,9 @@ enum class ValueTag : uint8_t { kInt64 = 1, kDouble = 2, kString = 3 };
 /// file ever written. Do not merge them.
 uint64_t Fnv1a64(const void* data, size_t size);
 
-/// fsyncs a file (or, with `directory` set, a directory entry) to stable
-/// storage. No-op where fsync is unavailable.
-util::Status SyncPath(const std::string& path, bool directory);
-
-/// Renames `from` over `to`, replacing an existing target. Atomic on POSIX;
-/// on Windows (where std::rename refuses to replace) the old target is
-/// removed first, narrowing but not closing the window. On failure `from`
-/// is cleaned up.
-util::Status RenameReplacing(const std::string& from, const std::string& to);
-
-/// The atomic-persist recipe, shared by StoreWriter and the manifest
-/// writer so the crash-safety-critical sequencing lives in exactly one
-/// place: `write` streams the bytes into `path`.tmp, which is then
-/// flushed, fsync'd, renamed over the target, and the parent directory
-/// entry fsync'd — a crash never leaves a half-written or lost file under
-/// the final name. Any failure (from `write` or the stream) cleans the
-/// tmp file up and is returned.
-util::Status WriteFileAtomicallyWith(
-    const std::string& path,
-    const std::function<util::Status(std::ostream&)>& write);
-
-/// Convenience wrapper for small fully-resident files (catalog manifests).
-util::Status WriteFileAtomically(const std::string& path,
-                                 const std::string& contents);
+// The atomic-persist recipe (WriteFileAtomicallyWith) and the fsync/rename
+// primitives live behind the storage::Env seam (env.h) so fault-injection
+// tests can interpose on every one of them.
 
 /// Little-endian append helpers (host-endianness independent).
 void AppendU8(std::string& out, uint8_t v);

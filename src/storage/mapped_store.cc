@@ -6,18 +6,10 @@
 #include <vector>
 
 #include "relational/dictionary.h"
+#include "storage/env.h"
 #include "storage/format.h"
 #include "util/logging.h"
 #include "util/string_util.h"
-
-#if defined(_WIN32)
-#include <fstream>
-#else
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#endif
 
 namespace jim::storage {
 
@@ -39,66 +31,40 @@ struct SectionEntry {
 }  // namespace
 
 util::StatusOr<std::shared_ptr<const MappedTupleStore>> MappedTupleStore::Open(
-    const std::string& path) {
+    const std::string& path, Env* env) {
 #if defined(__BYTE_ORDER__) && (__BYTE_ORDER__ != __ORDER_LITTLE_ENDIAN__)
   return util::UnimplementedError(
       "JIMC mapping requires a little-endian host");
 #endif
+  Env& fs = env != nullptr ? *env : *DefaultEnv();
   // Private ctor, so no make_shared; the aliasing around mutable Parse state
   // stays local to Open.
   std::shared_ptr<MappedTupleStore> store(new MappedTupleStore());
   store->path_ = path;
-#if defined(_WIN32)
-  // No mmap: fall back to a heap copy with identical semantics.
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return util::NotFoundError("cannot open " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  uint8_t* buffer = new uint8_t[static_cast<size_t>(size)];
-  if (!in.read(reinterpret_cast<char*>(buffer), size)) {
-    delete[] buffer;
-    return util::InternalError("short read on " + path);
+  auto mapped = fs.MapReadOnly(path);
+  if (mapped.ok()) {
+    store->region_ = std::move(mapped).value();
+  } else if (mapped.status().code() == util::StatusCode::kNotFound ||
+             mapped.status().code() == util::StatusCode::kInvalidArgument) {
+    // A missing file or an unmappable-because-empty one is a verdict on the
+    // input, not on the environment — no fallback can change it.
+    return mapped.status();
+  } else {
+    // Graceful degradation: a refused or failed mapping (no mmap on this
+    // host, fd pressure, injected refusal) downgrades to a heap copy with
+    // identical read semantics — slower start, same bytes, and Parse still
+    // stands between the content and the engine.
+    JIM_LOG(kWarning) << "mapping " << path << " failed ("
+                      << mapped.status().message()
+                      << "); degrading to heap read";
+    auto contents = fs.ReadFileToString(path);
+    if (!contents.ok()) return contents.status();
+    store->region_ = NewHeapRegion(std::move(contents).value());
   }
-  store->data_ = buffer;
-  store->size_ = static_cast<size_t>(size);
-  store->mmapped_ = false;
-#else
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return util::NotFoundError("cannot open " + path);
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    return util::InternalError("fstat failed on " + path);
-  }
-  const size_t size = static_cast<size_t>(st.st_size);
-  if (size == 0) {
-    ::close(fd);
-    return Corrupt(path, "empty file");
-  }
-  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);  // the mapping holds its own reference
-  if (mapping == MAP_FAILED) {
-    return util::InternalError("mmap failed on " + path);
-  }
-  store->data_ = static_cast<const uint8_t*>(mapping);
-  store->size_ = size;
-  store->mmapped_ = true;
-#endif
+  store->data_ = store->region_->data();
+  store->size_ = store->region_->size();
   RETURN_IF_ERROR(store->Parse());
   return std::shared_ptr<const MappedTupleStore>(std::move(store));
-}
-
-MappedTupleStore::~MappedTupleStore() {
-  if (data_ == nullptr) return;
-#if defined(_WIN32)
-  delete[] data_;
-#else
-  if (mmapped_) {
-    ::munmap(const_cast<uint8_t*>(data_), size_);
-  } else {
-    delete[] data_;
-  }
-#endif
 }
 
 util::Status MappedTupleStore::Parse() {
@@ -406,8 +372,8 @@ size_t MappedTupleStore::ApproxBytes() const {
 }
 
 util::StatusOr<std::shared_ptr<const core::TupleStore>> OpenStore(
-    const std::string& path) {
-  ASSIGN_OR_RETURN(auto store, MappedTupleStore::Open(path));
+    const std::string& path, Env* env) {
+  ASSIGN_OR_RETURN(auto store, MappedTupleStore::Open(path, env));
   return std::shared_ptr<const core::TupleStore>(std::move(store));
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/tuple_store.h"
+#include "storage/env.h"
 #include "util/status.h"
 
 namespace jim::storage {
@@ -30,14 +31,20 @@ namespace jim::storage {
 /// allocation per cell).
 class MappedTupleStore final : public core::TupleStore {
  public:
-  /// Maps and validates `path`. Errors: kNotFound for a missing file,
-  /// kInvalidArgument for anything malformed (wrong magic/version, bounds,
-  /// truncation, checksum mismatch, out-of-range codes), kUnimplemented on
-  /// big-endian hosts.
+  /// Maps and validates `path` through `env` (nullptr → DefaultEnv()).
+  /// Errors: kNotFound for a missing file, kInvalidArgument for anything
+  /// malformed (wrong magic/version, bounds, truncation, checksum mismatch,
+  /// out-of-range codes, empty file), kUnimplemented on big-endian hosts.
+  ///
+  /// Graceful degradation: when the env refuses or fails the mapping for
+  /// any reason other than those verdicts (no mmap on this host, injected
+  /// refusal, transient failure), Open logs the downgrade and falls back to
+  /// a heap copy with identical read semantics — zero_copy() then reports
+  /// false.
   static util::StatusOr<std::shared_ptr<const MappedTupleStore>> Open(
-      const std::string& path);
+      const std::string& path, Env* env = nullptr);
 
-  ~MappedTupleStore() override;
+  ~MappedTupleStore() override = default;
   MappedTupleStore(const MappedTupleStore&) = delete;
   MappedTupleStore& operator=(const MappedTupleStore&) = delete;
 
@@ -72,6 +79,9 @@ class MappedTupleStore final : public core::TupleStore {
   /// Distinct non-NULL values in the file's shared dictionary.
   size_t shared_dictionary_size() const { return value_offsets_.size(); }
   const std::string& path() const { return path_; }
+  /// True when the bytes are served from an actual mapping (shared page
+  /// cache); false on the graceful-degradation heap fallback.
+  bool zero_copy() const { return region_->zero_copy(); }
 
  private:
   MappedTupleStore() = default;
@@ -79,10 +89,11 @@ class MappedTupleStore final : public core::TupleStore {
   util::Status Parse();
 
   std::string path_;
-  /// The mapping (or, where mmap is unavailable, a heap copy — see .cc).
+  /// Owns the bytes: an mmap region or its heap-copy fallback. `data_` /
+  /// `size_` cache region_->data()/size() for the hot read paths.
+  std::unique_ptr<ReadRegion> region_;
   const uint8_t* data_ = nullptr;
   size_t size_ = 0;
-  bool mmapped_ = false;
 
   std::string name_;
   rel::Schema schema_;
@@ -98,7 +109,7 @@ class MappedTupleStore final : public core::TupleStore {
 /// Opens `path` behind the TupleStore seam (the store factory the engine and
 /// CLI consume).
 util::StatusOr<std::shared_ptr<const core::TupleStore>> OpenStore(
-    const std::string& path);
+    const std::string& path, Env* env = nullptr);
 
 }  // namespace jim::storage
 

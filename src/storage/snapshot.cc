@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <optional>
 #include <set>
 #include <string_view>
 #include <utility>
+#include <vector>
 
+#include "storage/env.h"
 #include "storage/format.h"
 #include "storage/mapped_store.h"
 #include "storage/store_writer.h"
@@ -45,28 +45,6 @@ std::string SanitizeFileName(const std::string& name, size_t generation,
     candidate = base + "_" + std::to_string(i) + suffix;
   }
   return candidate;
-}
-
-/// File names under `dir`, with std::filesystem's exceptions (thrown by
-/// mid-iteration readdir failures, which the error_code constructor does
-/// not cover) converted to the Status this module's callers consume.
-util::StatusOr<std::vector<std::string>> ListDirectory(
-    const std::string& dir) {
-  std::vector<std::string> files;
-  try {
-    std::error_code ec;
-    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
-      files.push_back(entry.path().filename().string());
-    }
-    if (ec) {
-      return util::InternalError(util::StrFormat(
-          "cannot list %s: %s", dir.c_str(), ec.message().c_str()));
-    }
-  } catch (const std::filesystem::filesystem_error& error) {
-    return util::InternalError(util::StrFormat(
-        "cannot list %s: %s", dir.c_str(), error.what()));
-  }
-  return files;
 }
 
 /// Save generation embedded in "<base>.g<digits>.jimc", or nullopt.
@@ -149,16 +127,47 @@ util::StatusOr<std::string> UnescapeManifestField(const std::string& field) {
   return raw;
 }
 
+/// Best-effort sweep of crash leftovers under `dir`. Staging files — the
+/// `.tmp` shadow of a generation file or of the manifest — are orphans by
+/// the time any save or load runs: every completed atomic write renamed its
+/// tmp away, and a crashed one left a file no manifest can reference (the
+/// atomic-persist recipe writes data before swinging names). When
+/// `referenced` is non-null (the save path), generation files outside it
+/// are superseded and collected too; a load never removes generation files
+/// (another manifest swing may be mid-flight). All failures are ignored:
+/// the snapshot is already durable, and anything left behind is collected
+/// by the next sweep.
+void CollectStaleArtifacts(Env& env, const std::string& dir,
+                           const std::set<std::string>* referenced) {
+  const auto files = env.ListDirectory(dir);
+  if (!files.ok()) return;
+  constexpr std::string_view kTmpSuffix = ".tmp";
+  for (const std::string& file : *files) {
+    std::string stem = file;
+    if (stem.size() > kTmpSuffix.size() &&
+        stem.compare(stem.size() - kTmpSuffix.size(), kTmpSuffix.size(),
+                     kTmpSuffix.data()) == 0) {
+      stem.resize(stem.size() - kTmpSuffix.size());
+    }
+    const bool stale_tmp = stem.size() < file.size() &&
+                           (ParseGeneration(stem).has_value() ||
+                            stem == kCatalogManifest);
+    const bool superseded = referenced != nullptr &&
+                            stem.size() == file.size() &&
+                            ParseGeneration(file).has_value() &&
+                            referenced->count(file) == 0;
+    if (stale_tmp || superseded) {
+      (void)env.RemoveFile(dir + "/" + file);
+    }
+  }
+}
+
 }  // namespace
 
-util::Status SaveCatalog(const rel::Catalog& catalog, const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return util::InternalError(util::StrFormat(
-        "SaveCatalog: cannot create %s: %s", dir.c_str(),
-        ec.message().c_str()));
-  }
+util::Status SaveCatalog(const rel::Catalog& catalog, const std::string& dir,
+                         const SnapshotOptions& options) {
+  Env& env = options.env != nullptr ? *options.env : *DefaultEnv();
+  RETURN_IF_ERROR(env.CreateDirectories(dir));
   // Relation files carry a per-save generation stamp, so a re-save never
   // overwrites the files the *current* manifest references: new-generation
   // files land first, the manifest swings over atomically, and only then
@@ -172,7 +181,7 @@ util::Status SaveCatalog(const rel::Catalog& catalog, const std::string& dir) {
     // exact mixed-snapshot state the generations exist to rule out — so it
     // aborts the save.
     ASSIGN_OR_RETURN(const std::vector<std::string> existing_files,
-                     ListDirectory(dir));
+                     env.ListDirectory(dir));
     for (const std::string& file : existing_files) {
       const auto existing = ParseGeneration(file);
       if (existing.has_value()) {
@@ -185,65 +194,52 @@ util::Status SaveCatalog(const rel::Catalog& catalog, const std::string& dir) {
   std::string manifest;
   std::set<std::string> taken;
   std::set<std::string> referenced;
+  StoreWriterOptions store_options;
+  store_options.env = &env;
+  store_options.retry = options.retry;
   for (const std::string& name : catalog.Names()) {
     ASSIGN_OR_RETURN(const auto relation, catalog.GetShared(name));
     const std::string file = SanitizeFileName(name, generation, taken);
     const auto store = core::MakeRelationStore(relation);
-    RETURN_IF_ERROR(
-        WriteStore(*store, (std::filesystem::path(dir) / file).string()));
+    RETURN_IF_ERROR(WriteStore(*store, dir + "/" + file, store_options));
     manifest += EscapeManifestField(name) + "\t" + file + "\n";
     referenced.insert(file);
   }
   // The manifest swing is what makes the new snapshot visible — atomic and
   // durable, so a crash mid-save can never truncate or mix an existing
   // snapshot.
-  RETURN_IF_ERROR(WriteFileAtomically(
-      (std::filesystem::path(dir) / kCatalogManifest).string(), manifest));
-  // Best-effort GC of superseded generations (the snapshot is already
-  // durable, so a listing failure or crash here just leaves orphans for the
-  // next save to collect).
-  const auto gc_files = ListDirectory(dir);
-  if (gc_files.ok()) {
-    constexpr std::string_view kTmpSuffix = ".tmp";
-    for (const std::string& file : *gc_files) {
-      // Superseded generations, plus staging files a crashed earlier save
-      // left behind (this save's own renames all completed, so any .tmp
-      // here is an orphan).
-      std::string stem = file;
-      if (stem.size() > kTmpSuffix.size() &&
-          stem.compare(stem.size() - kTmpSuffix.size(), kTmpSuffix.size(),
-                       kTmpSuffix.data()) == 0) {
-        stem.resize(stem.size() - kTmpSuffix.size());
-      }
-      const bool stale_tmp = stem.size() < file.size() &&
-                             (ParseGeneration(stem).has_value() ||
-                              stem == kCatalogManifest);
-      const bool superseded = stem.size() == file.size() &&
-                              ParseGeneration(file).has_value() &&
-                              referenced.count(file) == 0;
-      if (stale_tmp || superseded) {
-        std::error_code remove_ec;
-        std::filesystem::remove(std::filesystem::path(dir) / file,
-                                remove_ec);
-      }
-    }
-  }
+  RETURN_IF_ERROR(RetryWithBackoff(env, options.retry, [&] {
+    return WriteFileAtomically(env, dir + "/" + kCatalogManifest, manifest);
+  }));
+  // Superseded generations and staging files a crashed earlier save left
+  // behind (this save's own renames all completed, so any .tmp here is an
+  // orphan).
+  CollectStaleArtifacts(env, dir, &referenced);
   return util::OkStatus();
 }
 
-util::StatusOr<rel::Catalog> LoadCatalog(const std::string& dir) {
-  const std::string manifest_path =
-      (std::filesystem::path(dir) / kCatalogManifest).string();
-  std::ifstream in(manifest_path);
-  if (!in) {
-    return util::NotFoundError(
-        util::StrFormat("LoadCatalog: no %s under %s", kCatalogManifest,
-                        dir.c_str()));
+util::StatusOr<rel::Catalog> LoadCatalog(const std::string& dir,
+                                         const SnapshotOptions& options) {
+  Env& env = options.env != nullptr ? *options.env : *DefaultEnv();
+  const std::string manifest_path = dir + "/" + kCatalogManifest;
+  auto manifest = env.ReadFileToString(manifest_path);
+  if (!manifest.ok()) {
+    if (manifest.status().code() == util::StatusCode::kNotFound) {
+      return util::NotFoundError(
+          util::StrFormat("LoadCatalog: no %s under %s", kCatalogManifest,
+                          dir.c_str()));
+    }
+    return manifest.status();
   }
   rel::Catalog catalog;
-  std::string line;
+  std::string_view rest = *manifest;
   size_t line_number = 0;
-  while (std::getline(in, line)) {
+  while (!rest.empty()) {
+    const size_t newline = rest.find('\n');
+    const std::string line(rest.substr(
+        0, newline == std::string_view::npos ? rest.size() : newline));
+    rest.remove_prefix(newline == std::string_view::npos ? rest.size()
+                                                         : newline + 1);
     ++line_number;
     if (line.empty()) continue;
     const size_t tab = line.find('\t');
@@ -264,13 +260,16 @@ util::StatusOr<rel::Catalog> LoadCatalog(const std::string& dir) {
           "LoadCatalog: manifest line %zu names a file outside the "
           "snapshot directory: %s", line_number, file.c_str()));
     }
-    ASSIGN_OR_RETURN(
-        const auto store,
-        OpenStore((std::filesystem::path(dir) / file).string()));
+    ASSIGN_OR_RETURN(const auto store, OpenStore(dir + "/" + file, &env));
     rel::Relation relation = MaterializeStore(*store);
     relation.set_name(name);
     RETURN_IF_ERROR(catalog.Add(std::move(relation)));
   }
+  // Everything referenced loaded; sweep the staging leftovers of any
+  // crashed earlier save (ignored above by construction) so they do not
+  // accumulate across crash-restart cycles. Generation files stay — only a
+  // save knows which of them are superseded.
+  CollectStaleArtifacts(env, dir, nullptr);
   return catalog;
 }
 

@@ -6,6 +6,7 @@
 #include "core/tuple_store.h"
 #include "relational/catalog.h"
 #include "relational/relation.h"
+#include "storage/env.h"
 #include "util/status.h"
 
 namespace jim::storage {
@@ -25,16 +26,30 @@ namespace jim::storage {
 /// a mix.
 inline constexpr const char* kCatalogManifest = "catalog.jimm";
 
+/// Options shared by SaveCatalog/LoadCatalog.
+struct SnapshotOptions {
+  /// Filesystem to go through (nullptr → DefaultEnv()).
+  Env* env = nullptr;
+  /// Retry policy for transient (kUnavailable) I/O errors on each atomic
+  /// write — relation files and the manifest swing (see env.h).
+  RetryPolicy retry;
+};
+
 /// Writes every relation of `catalog` into `dir` (created if missing). Each
 /// relation is persisted through its dictionary-encoded RelationTupleStore
 /// wrap, so what lands on disk is codes + dictionary pages, not CSV text.
-util::Status SaveCatalog(const rel::Catalog& catalog, const std::string& dir);
+util::Status SaveCatalog(const rel::Catalog& catalog, const std::string& dir,
+                         const SnapshotOptions& options = {});
 
 /// Reopens a SaveCatalog snapshot into a fresh catalog. Relations are
 /// decoded out of their mapped stores (catalog relations are the *sources* —
 /// typically orders of magnitude smaller than the universal tables built
-/// over them, which stay mapped and are never materialized).
-util::StatusOr<rel::Catalog> LoadCatalog(const std::string& dir);
+/// over them, which stay mapped and are never materialized). Staging
+/// leftovers of a crashed save (`*.tmp`) are ignored — only
+/// manifest-referenced files are ever opened — and swept best-effort after
+/// a successful load.
+util::StatusOr<rel::Catalog> LoadCatalog(const std::string& dir,
+                                         const SnapshotOptions& options = {});
 
 /// Decodes every tuple of `store` into a materialized Relation (the O(N·n)
 /// representation mapped stores exist to avoid — for export, small

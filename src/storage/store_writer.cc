@@ -1,13 +1,12 @@
 #include "storage/store_writer.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "relational/dictionary.h"
+#include "storage/env.h"
 #include "storage/format.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -183,18 +182,29 @@ util::Status WriteStore(const core::TupleStore& store, const std::string& path,
     AppendU64(table, Fnv1a64(sections[i].data(), sections[i].length()));
   }
 
-  return WriteFileAtomicallyWith(path, [&](std::ostream& out) {
-    out.write(header.data(), static_cast<std::streamsize>(header.size()));
-    out.write(table.data(), static_cast<std::streamsize>(table.size()));
-    size_t written = table_end;
-    for (size_t i = 0; i < sections.size(); ++i) {
-      for (; written < offsets[i]; ++written) out.put('\0');
-      out.write(sections[i].data(),
-                static_cast<std::streamsize>(sections[i].length()));
-      written += sections[i].length();
-    }
-    for (; written < file_bytes; ++written) out.put('\0');
-    return util::OkStatus();
+  Env& env = options.env != nullptr ? *options.env : *DefaultEnv();
+  // The staged bytes are reusable, so a transient I/O failure (classified
+  // kUnavailable by the env) retries the whole atomic-persist sequence
+  // after a backoff — each attempt is all-or-nothing, so a retry can never
+  // observe a half-written target.
+  return RetryWithBackoff(env, options.retry, [&] {
+    return WriteFileAtomicallyWith(env, path, [&](WritableFile& out) {
+      RETURN_IF_ERROR(out.Append(header));
+      RETURN_IF_ERROR(out.Append(table));
+      size_t written = table_end;
+      for (size_t i = 0; i < sections.size(); ++i) {
+        if (written < offsets[i]) {
+          RETURN_IF_ERROR(out.Append(std::string(offsets[i] - written, '\0')));
+          written = offsets[i];
+        }
+        RETURN_IF_ERROR(out.Append(sections[i].data(), sections[i].length()));
+        written += sections[i].length();
+      }
+      if (written < file_bytes) {
+        RETURN_IF_ERROR(out.Append(std::string(file_bytes - written, '\0')));
+      }
+      return util::OkStatus();
+    });
   });
 }
 

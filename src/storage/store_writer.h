@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/tuple_store.h"
+#include "storage/env.h"
 #include "util/status.h"
 
 namespace jim::storage {
@@ -18,6 +19,12 @@ struct StoreWriterOptions {
   size_t num_tuples = static_cast<size_t>(-1);
   /// Overrides the persisted store name (empty keeps store.name()).
   std::string name;
+  /// Filesystem to write through (nullptr → DefaultEnv()).
+  Env* env = nullptr;
+  /// Transient I/O errors (Status kUnavailable — EINTR/EAGAIN-class) retry
+  /// the whole atomic write up to max_attempts times with exponential
+  /// backoff through the env's injectable clock.
+  RetryPolicy retry;
 };
 
 /// Serializes `store` (any TupleStore — in-memory, factorized, mapped) into

@@ -21,6 +21,10 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kResourceExhausted = 8,
+  /// A transient failure (interrupted syscall, busy resource, table-full
+  /// races): retrying the same operation after a backoff may succeed.
+  /// storage::RetryWithBackoff retries exactly this code.
+  kUnavailable = 9,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -73,6 +77,7 @@ Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
 
 /// Either a value of type `T` or an error `Status`. Never both.
 ///

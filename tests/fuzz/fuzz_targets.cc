@@ -89,11 +89,12 @@ int FuzzGoalParse(const uint8_t* data, size_t size) {
   const std::string text(reinterpret_cast<const char*>(data), size);
   auto parsed = core::JoinPredicate::Parse(GoalSchema(), text);
   if (!parsed.ok()) {
-    // Malformed syntax is kInvalidArgument; a well-formed equality naming
-    // an attribute the schema lacks is kNotFound. Anything else leaks.
+    // Every rejection — malformed syntax and unknown attribute names alike —
+    // is kInvalidArgument: the input text is bad, nothing is "missing"
+    // (kNotFound stays reserved for absent files/relations). Anything else
+    // leaks.
     const util::StatusCode code = parsed.status().code();
-    JIM_CHECK(code == util::StatusCode::kInvalidArgument ||
-              code == util::StatusCode::kNotFound)
+    JIM_CHECK(code == util::StatusCode::kInvalidArgument)
         << "unexpected goal rejection code: " << parsed.status().ToString();
     JIM_CHECK(!parsed.status().message().empty())
         << "goal rejection without a diagnostic message";

@@ -30,6 +30,7 @@ TEST(StatusTest, FactoryFunctionsSetCodes) {
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(ResourceExhaustedError("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, StatusCodeToStringCoversEveryCode) {
@@ -46,6 +47,7 @@ TEST(StatusTest, StatusCodeToStringCoversEveryCode) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
 }
 
 TEST(StatusTest, ToStringFormatsCodeColonMessage) {

@@ -23,6 +23,13 @@ the library tree:
   include-guard         Header guard not of the canonical
                         JIM_<PATH>_H_ form, missing, or with a stale
                         trailing #endif comment.
+  raw-io                Direct filesystem syscalls or stream I/O
+                        (::open/::read/::write/::rename/std::ofstream/
+                        std::ifstream/std::rename/std::remove/
+                        std::filesystem mutation) in src/storage/ outside
+                        env.cc. All storage I/O must route through the
+                        storage::Env seam so fault injection and crash
+                        replay see every operation.
 
 Findings are suppressed only through the checked-in allowlist
 (tools/lint_determinism_allowlist.txt), one entry per line:
@@ -68,6 +75,22 @@ NONDET_RES = [
 ]
 ADDRESS_HASH_RE = re.compile(
     r"reinterpret_cast\s*<\s*(?:std\s*::\s*)?u?int(?:ptr_t|64_t)\s*>")
+# raw-io: storage code bypassing the Env seam. Matched in src/storage/ only,
+# with env.cc exempt (it IS the seam's posix backend).
+RAW_IO_RES = [
+    (re.compile(r"::\s*(?:open|creat|read|write|pread|pwrite|close|fsync|"
+                r"fdatasync|mmap|munmap|rename|unlink|mkdir|opendir|"
+                r"readdir|ftruncate|fopen|fstat|stat|lstat)\s*\("),
+     "direct filesystem syscall"),
+    (re.compile(r"\bstd\s*::\s*(?:o|i)?fstream\b"), "std stream I/O"),
+    (re.compile(r"\bstd\s*::\s*(?:rename|remove|fopen|tmpfile)\s*\("),
+     "std C file mutation"),
+    (re.compile(r"\bstd\s*::\s*filesystem\s*::\s*"
+                r"(?:rename|remove|remove_all|create_director|resize_file|"
+                r"copy|permissions)"),
+     "std::filesystem mutation"),
+]
+RAW_IO_EXEMPT = ("src/storage/env.cc",)
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
 
@@ -160,6 +183,14 @@ def lint_file(rel_path, findings):
                 "address-hash", rel_path, number, raw_lines[number - 1],
                 "pointer reinterpreted as integer — address-dependent "
                 "behavior"))
+        if (rel_path.startswith("src/storage/")
+                and rel_path not in RAW_IO_EXEMPT):
+            for regex, what in RAW_IO_RES:
+                if regex.search(line):
+                    findings.append((
+                        "raw-io", rel_path, number, raw_lines[number - 1],
+                        f"{what} bypasses the storage::Env seam — route "
+                        "it through Env so fault injection sees it"))
 
     if rel_path.endswith(".h"):
         token = guard_token(rel_path)
