@@ -20,6 +20,8 @@
 
 #include "bench/bench_util.h"
 #include "core/jim.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "exec/thread_pool.h"
 #include "lattice/enumeration.h"
 #include "lattice/partition.h"
@@ -304,11 +306,35 @@ void RegisterAll(std::vector<BenchResult>& results) {
   }
 }
 
+/// Metrics-on costing pass (untimed; runs after the calibrated sweeps so
+/// their ns/op stay comparable with metrics-off history): one serial
+/// lookahead-entropy decision on the 10k instance, counting how many
+/// SimulateLabelBoth evaluations a single PickClass costs. The work-count
+/// complement of the LookaheadPickClass latency above — latency regressions
+/// split into "each simulation got slower" vs "we simulate more".
+uint64_t MeasureSimulateCallsPerPick() {
+  obs::SetMetricsEnabled(true);
+  const auto workload = MakeSynthetic(10000, 7);
+  const core::InferenceEngine engine(workload.instance);
+  auto strategy = core::MakeStrategy("lookahead-entropy").value();
+  if (auto* lookahead =
+          dynamic_cast<core::LookaheadStrategy*>(strategy.get())) {
+    lookahead->set_thread_pool(nullptr);
+  }
+  auto& registry = obs::MetricsRegistry::Instance();
+  const uint64_t before =
+      registry.CounterValue(obs::kCounterEngineSimulateLabelBoth);
+  DoNotOptimize(strategy->PickClass(engine));
+  return registry.CounterValue(obs::kCounterEngineSimulateLabelBoth) - before;
+}
+
 bool WriteJson(const std::vector<BenchResult>& results,
-               const std::string& path) {
+               uint64_t simulate_calls_per_pick, const std::string& path) {
   util::JsonWriter json;
   json.BeginObject();
   json.KeyValue("benchmark", "micro");
+  bench::AppendMetaBlock(json);
+  json.KeyValue("simulate_label_calls_per_pick", simulate_calls_per_pick);
   // Wall-clock speedup of the 10k-tuple lookahead decision at 4 threads vs
   // the serial path (values < 1 mean the box lacks the cores to win).
   double serial_ns = 0;
@@ -396,6 +422,7 @@ bool WriteJson(const std::vector<BenchResult>& results,
     json.EndObject();
   }
   json.EndArray();
+  bench::AppendMetricsSnapshot(json);
   json.EndObject();
   std::ofstream out(path);
   out << json.str() << "\n";
@@ -424,6 +451,7 @@ int main(int argc, char** argv) {
 
   std::vector<BenchResult> results;
   RegisterAll(results);
+  const uint64_t simulate_calls_per_pick = MeasureSimulateCallsPerPick();
 
   jim::util::TablePrinter table({"benchmark", "arg", "iterations", "ns/op"});
   table.SetAlignments({jim::util::Align::kLeft, jim::util::Align::kRight,
@@ -435,7 +463,7 @@ int main(int argc, char** argv) {
   }
   std::cout << table.ToString();
 
-  if (!WriteJson(results, json_path)) {
+  if (!WriteJson(results, simulate_calls_per_pick, json_path)) {
     std::cerr << "bench_micro: failed to write " << json_path << "\n";
     return 1;
   }

@@ -23,6 +23,7 @@
 #include "bench/bench_util.h"
 #include "core/jim.h"
 #include "exec/batch_runner.h"
+#include "obs/metrics.h"
 #include "query/universal_table.h"
 #include "storage/mapped_store.h"
 #include "storage/store_writer.h"
@@ -230,6 +231,11 @@ void AppendJsonCells(util::JsonWriter& json, const char* sweep,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Metrics on for the whole run: cells here are ms-scale, so the per-event
+  // relaxed atomic add is noise, and the embedded snapshot lets latency
+  // movements be correlated with work counts (sessions run, classes pruned,
+  // simulations per decision).
+  obs::SetMetricsEnabled(true);
   const size_t threads = bench::ParseThreadsFlag(argc, argv);
   bool quick = false;
   std::string json_path = "BENCH_scalability.json";
@@ -384,6 +390,7 @@ int main(int argc, char** argv) {
   util::JsonWriter json;
   json.BeginObject();
   json.KeyValue("benchmark", "scalability");
+  bench::AppendMetaBlock(json);
   json.KeyValue("quick", quick);
   json.KeyValue("threads", threads);
   json.KeyValue("repetitions", repetitions);
@@ -419,6 +426,7 @@ int main(int argc, char** argv) {
         .EndObject();
   }
   json.EndArray();
+  bench::AppendMetricsSnapshot(json);
   json.EndObject();
   std::ofstream out(json_path);
   out << json.str() << "\n";

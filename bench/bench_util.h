@@ -9,13 +9,56 @@
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/json_writer.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace jim::bench {
+
+/// Appends the shared `"meta"` provenance block every BENCH_*.json carries:
+/// resolved worker threads, the machine's hardware threads, the CMake build
+/// type and sanitizer list (baked in at compile time via
+/// JIM_BENCH_BUILD_TYPE / JIM_BENCH_SANITIZE), and the runtime
+/// metrics/audit toggles — enough to tell two snapshots of "the same" bench
+/// apart before comparing their numbers. Call it between KeyValue entries
+/// of the top-level JSON object.
+inline void AppendMetaBlock(util::JsonWriter& json) {
+#if defined(JIM_BENCH_BUILD_TYPE)
+  constexpr const char* kBuildType = JIM_BENCH_BUILD_TYPE;
+#else
+  constexpr const char* kBuildType = "";
+#endif
+#if defined(JIM_BENCH_SANITIZE)
+  constexpr const char* kSanitize = JIM_BENCH_SANITIZE;
+#else
+  constexpr const char* kSanitize = "";
+#endif
+  json.Key("meta").BeginObject();
+  json.KeyValue("threads", exec::DefaultThreads());
+  json.KeyValue("hardware_threads",
+                static_cast<size_t>(std::thread::hardware_concurrency()));
+  json.KeyValue("build_type", kBuildType);
+  json.KeyValue("sanitize", kSanitize);
+  json.KeyValue("metrics_enabled", obs::MetricsEnabled());
+  json.KeyValue("audit_invariants", util::AuditInvariantsEnabled());
+  json.EndObject();
+}
+
+/// Appends the process metrics registry as a `"metrics"` key — the
+/// observability counters accumulated over the bench run (empty sub-objects
+/// when metrics stayed disabled). Lets perf trajectories correlate ns/op
+/// movements with work-count movements (e.g. "did propagation get faster,
+/// or did it just prune less?").
+inline void AppendMetricsSnapshot(util::JsonWriter& json) {
+  json.Key("metrics");
+  obs::MetricsRegistry::Instance().Snapshot().AppendTo(json);
+}
 
 /// Shared `--threads N` parsing for the parallel benches. Consumes the flag
 /// (and its value) out of argc/argv so each bench can parse its remaining

@@ -6,10 +6,15 @@
 #   - determinism lint   tools/lint_determinism.py over src/ (hash-order
 #                        iteration, pointer keys, wall clocks, guard drift)
 #   - round-trip smoke   jim_cli save → load must transcript-diff clean
-#   - TSAN stage         parallel exec + parity suites under
-#                        -DJIM_SANITIZE=thread, plus a guard that every
-#                        tsan.supp suppression still matches a symbol the
-#                        instrumented binaries actually reference
+#   - OBS stage          observability determinism: parity suites re-run
+#                        with JIM_METRICS=1, CLI transcripts diffed with
+#                        metrics + tracing on vs off, and the emitted
+#                        snapshot checked for engine/exec/storage metrics
+#   - TSAN stage         parallel exec + parity suites plus the concurrent
+#                        metrics-registry test under -DJIM_SANITIZE=thread,
+#                        plus a guard that every tsan.supp suppression still
+#                        matches a symbol the instrumented binaries
+#                        actually reference
 #   - ASAN stage         columnar storage/ingest suites under address
 #   - UBSAN stage        integer-kernel + storage suites AND the
 #                        deterministic fuzz driver (5000 mutated JIMC
@@ -80,6 +85,38 @@ EOF
   --goal="To=City && Airline=Discount" > "$smokedir/loaded.txt"
 diff "$smokedir/saved.txt" "$smokedir/loaded.txt"
 
+# --- OBS stage (observability determinism) -------------------------------
+# The contract src/obs/ ships under: metrics and tracing observe a session,
+# they never steer it. Three proofs, all against the tier-1 build:
+#   1. the parity suites pass again with the metrics registry hot
+#      (JIM_METRICS=1) — transcripts still bitwise-identical at 1/2/8
+#      threads;
+#   2. a jim_cli run with --metrics-out and --trace produces stdout
+#      byte-identical to the plain run (all observability output goes to
+#      stderr or the snapshot file);
+#   3. the emitted snapshot actually contains engine, exec, and storage
+#      metrics for a --load-instance session — instrumentation that
+#      silently stops recording is a failure, not a quiet degrade.
+if [[ "${JIM_SKIP_OBS:-0}" == "1" ]]; then
+  warn_skip "JIM_SKIP_OBS=1" "OBS"
+else
+  (cd build && JIM_METRICS=1 ctest --output-on-failure -j"$(nproc)" \
+    -R 'ParallelParity|EncodedParity|IncrementalParity|MappedParity|KernelParity|FactorizedParity')
+  ./build/jim_cli infer --load-instance="$smokedir/flights.jimc" --auto \
+    --goal="To=City && Airline=Discount" \
+    --metrics-out="$smokedir/metrics.json" --trace \
+    > "$smokedir/observed.txt" 2> "$smokedir/observed.err"
+  diff "$smokedir/loaded.txt" "$smokedir/observed.txt"
+  for prefix in '"engine.' '"exec.' '"storage.'; do
+    if ! grep -qF "$prefix" "$smokedir/metrics.json"; then
+      echo "ERROR: metrics snapshot is missing ${prefix}* metrics —" \
+        "instrumentation went silent" >&2
+      exit 1
+    fi
+  done
+  grep -qF '"steps"' "$smokedir/observed.err"
+fi
+
 # --- TSAN stage ----------------------------------------------------------
 if [[ "${JIM_SKIP_TSAN:-0}" == "1" ]]; then
   warn_skip "JIM_SKIP_TSAN=1" "TSAN"
@@ -93,7 +130,7 @@ else
     exec_thread_pool_test exec_scratch_pool_test exec_batch_runner_test \
     core_parallel_parity_test core_engine_cow_test core_encoded_parity_test \
     relational_dictionary_test core_tuple_store_test \
-    storage_sharded_store_test query_query_test
+    storage_sharded_store_test query_query_test obs_metrics_test
   # Stale-suppression guard: every race: pattern in tsan.supp must still
   # match a symbol some instrumented test binary references (nm -C), or the
   # suppression is dead weight hiding future real races — remove it.
@@ -110,7 +147,7 @@ else
   (cd build-tsan && \
     TSAN_OPTIONS="suppressions=$(pwd)/../tsan.supp ${TSAN_OPTIONS:-}" \
     ctest --output-on-failure -j"$(nproc)" \
-    -R 'ThreadPool|ScratchPool|BatchSessionRunner|ParallelParity|EngineCow|EncodedParity|ParallelEncode|ParallelIngest|ParallelScan|UniversalTable|Catalog')
+    -R 'ThreadPool|ScratchPool|BatchSessionRunner|ParallelParity|EngineCow|EncodedParity|ParallelEncode|ParallelIngest|ParallelScan|UniversalTable|Catalog|MetricsTest')
 fi
 
 # --- ASAN stage ----------------------------------------------------------

@@ -21,6 +21,17 @@
 //       file instead of parsing a CSV — sessions are byte-identical to the
 //       in-memory instance the file was written from.
 //
+// Observability (any subcommand):
+//   --metrics-out=FILE   enable the process-wide metrics registry, route
+//       storage I/O through a counting storage::MetricsEnv, and write the
+//       final snapshot (engine/exec/storage counters, gauges, histograms)
+//       to FILE as JSON. Metrics never change behavior: the stdout
+//       transcript is byte-identical with and without this flag.
+//   --trace[=FILE]       (infer) record one structured event per label
+//       (question, answer, pruning, worklist, simulate-call cost) and
+//       write the session trace JSON to FILE, or to stderr when no file
+//       is given — stdout stays diff-clean either way.
+//
 // Examples:
 //   jim_cli infer flights.csv
 //   jim_cli infer flights.csv --auto --goal="To=City && Airline=Discount"
@@ -28,13 +39,17 @@
 //   jim_cli infer flights.csv --save-instance=flights.jimc
 //   jim_cli infer --load-instance=flights.jimc --auto --goal="To=City"
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "core/jim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/csv_io.h"
 #include "storage/mapped_store.h"
+#include "storage/metrics_env.h"
 #include "storage/snapshot.h"
 #include "storage/store_writer.h"
 #include "ui/console_ui.h"
@@ -63,6 +78,25 @@ struct Flags {
     return it == named.end() ? fallback : it->second;
   }
 };
+
+// The Env all CLI storage I/O goes through. With --metrics-out the ops and
+// bytes are counted into the "storage.*" registry metrics; otherwise the
+// nullptr falls through to DefaultEnv inside the storage entry points.
+storage::Env* CliEnv() {
+  if (!obs::MetricsEnabled()) return nullptr;
+  static storage::MetricsEnv env;  // wraps DefaultEnv
+  return &env;
+}
+
+util::Status WriteTextFile(const std::string& path,
+                           const std::string& contents) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file << contents << "\n";
+  if (!file) {
+    return util::InternalError("could not write " + path);
+  }
+  return util::OkStatus();
+}
 
 Flags ParseFlags(int argc, char** argv, int first) {
   Flags flags;
@@ -97,7 +131,7 @@ util::StatusOr<std::shared_ptr<const core::TupleStore>> LoadStore(
           "got both a CSV argument ('" + flags.positional[0] +
           "') and --load-instance; pass exactly one instance source");
     }
-    auto opened = storage::OpenStore(flags.Get("load-instance"));
+    auto opened = storage::OpenStore(flags.Get("load-instance"), CliEnv());
     if (!opened.ok()) return opened.status();
     store = *std::move(opened);
   } else {
@@ -112,7 +146,9 @@ util::StatusOr<std::shared_ptr<const core::TupleStore>> LoadStore(
   }
   if (flags.Has("save-instance")) {
     const std::string path = flags.Get("save-instance");
-    const util::Status saved = storage::WriteStore(*store, path);
+    storage::StoreWriterOptions write_options;
+    write_options.env = CliEnv();
+    const util::Status saved = storage::WriteStore(*store, path, write_options);
     if (!saved.ok()) return saved;
     std::cerr << "jim_cli: saved instance to " << path << "\n";
   }
@@ -238,8 +274,24 @@ int CmdInfer(const Flags& flags) {
     options.auto_oracle = std::make_unique<core::ExactOracle>(*goal);
   }
 
+  obs::SessionTracer tracer;
+  const bool tracing = flags.Has("trace");
+  if (tracing) options.tracer = &tracer;
+
   auto result =
       ui::RunConsoleDemo(*store, std::move(options), std::cin, std::cout);
+  if (tracing) {
+    // Emitted even for an aborted session — a partial trace is exactly what
+    // post-mortems want. "true" is the bare-flag value; it means stderr.
+    const std::string trace_out = flags.Get("trace");
+    if (trace_out.empty() || trace_out == "true") {
+      std::cerr << tracer.ToJson() << "\n";
+    } else {
+      const util::Status written = WriteTextFile(trace_out, tracer.ToJson());
+      if (!written.ok()) return Fail(written.ToString());
+      std::cerr << "jim_cli: wrote session trace to " << trace_out << "\n";
+    }
+  }
   if (!result.ok()) return Fail(result.status().ToString());
   if (goal.has_value()) {
     std::cout << "identified the goal: "
@@ -257,9 +309,29 @@ int main(int argc, char** argv) {
   if (argc < 2) return CmdDemo();
   const std::string command = argv[1];
   const Flags flags = ParseFlags(argc, argv, 2);
-  if (command == "strategies") return CmdStrategies();
-  if (command == "classes") return CmdClasses(flags);
-  if (command == "eval") return CmdEval(flags);
-  if (command == "infer") return CmdInfer(flags);
-  return Fail("unknown command '" + command + "'");
+  // Metrics switch on before any work so engine construction, session
+  // strategy pools, and storage I/O are all visible in the snapshot.
+  if (flags.Has("metrics-out")) obs::SetMetricsEnabled(true);
+
+  int rc;
+  if (command == "strategies") {
+    rc = CmdStrategies();
+  } else if (command == "classes") {
+    rc = CmdClasses(flags);
+  } else if (command == "eval") {
+    rc = CmdEval(flags);
+  } else if (command == "infer") {
+    rc = CmdInfer(flags);
+  } else {
+    return Fail("unknown command '" + command + "'");
+  }
+
+  if (flags.Has("metrics-out")) {
+    const std::string path = flags.Get("metrics-out");
+    const util::Status written = WriteTextFile(
+        path, obs::MetricsRegistry::Instance().Snapshot().ToJson());
+    if (!written.ok()) return Fail(written.ToString());
+    std::cerr << "jim_cli: wrote metrics snapshot to " << path << "\n";
+  }
+  return rc;
 }

@@ -6,6 +6,9 @@
 #include <unordered_map>
 
 #include "exec/parallel.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -47,10 +50,15 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const TupleStore> store,
                                  exec::ThreadPool* pool)
     : store_(std::move(store)), state_(store_->num_attributes()) {
   JIM_CHECK(store_ != nullptr);
-  BuildClasses(pool);
-  // Some tuples may be uninformative from the start (e.g. all-values-equal
-  // tuples are selected by every predicate).
-  Propagate();
+  {
+    JIM_SPAN(obs::kHistEngineBuildMicros);
+    BuildClasses(pool);
+    // Some tuples may be uninformative from the start (e.g. all-values-equal
+    // tuples are selected by every predicate).
+    Propagate();
+  }
+  JIM_COUNT(obs::kCounterEngineBuilds);
+  JIM_COUNT_N(obs::kCounterEngineClassesBuilt, classes_->size());
   JIM_AUDIT(CheckInvariants());
 }
 
@@ -213,6 +221,9 @@ size_t InferenceEngine::Propagate() {
     }
   }
   informative.resize(out);
+  JIM_COUNT(obs::kCounterEnginePropagateRuns);
+  JIM_COUNT_N(obs::kCounterEnginePrunedClasses, pruned);
+  JIM_OBSERVE(obs::kHistEngineWorklistSize, out);
   return pruned;
 }
 
@@ -240,6 +251,9 @@ size_t InferenceEngine::PropagateAfterPositive() {
     }
   }
   informative.resize(out);
+  JIM_COUNT(obs::kCounterEnginePropagateRuns);
+  JIM_COUNT_N(obs::kCounterEnginePrunedClasses, pruned);
+  JIM_OBSERVE(obs::kHistEngineWorklistSize, out);
   return pruned;
 }
 
@@ -260,6 +274,9 @@ size_t InferenceEngine::PropagateAfterNegative(
     }
   }
   informative.resize(out);
+  JIM_COUNT(obs::kCounterEnginePropagateRuns);
+  JIM_COUNT_N(obs::kCounterEnginePrunedClasses, pruned);
+  JIM_OBSERVE(obs::kHistEngineWorklistSize, out);
   return pruned;
 }
 
@@ -317,17 +334,35 @@ util::Status InferenceEngine::LabelImpl(size_t class_id, size_t tuple_index,
     const bool agrees = (before == ClassStatus::kLabeledPositive) ==
                         (label == Label::kPositive);
     if (!agrees) {
+      JIM_COUNT(obs::kCounterEngineLabelsRejected);
       return util::FailedPreconditionError(
           "tuple was already labeled with the opposite label");
     }
     ++wasted_interactions_;
     history_.push_back(LabeledExample{tuple_index, label});
     session.explicit_label[tuple_index] = label == Label::kPositive ? 1 : 2;
+    JIM_COUNT(obs::kCounterEngineLabelsAccepted);
+    JIM_COUNT(obs::kCounterEngineLabelsWasted);
     return util::OkStatus();
   }
 
   const bool was_informative = before == ClassStatus::kInformative;
-  RETURN_IF_ERROR(state_.ApplyLabel((*classes_)[class_id].partition, label));
+  {
+    util::Status applied =
+        state_.ApplyLabel((*classes_)[class_id].partition, label);
+    if (!applied.ok()) {
+      JIM_COUNT(obs::kCounterEngineLabelsRejected);
+      return applied;
+    }
+  }
+  JIM_COUNT(obs::kCounterEngineLabelsAccepted);
+  // One JIM_COUNT site per name: the macro caches its counter in a
+  // function-local static, so the name must be a per-site constant.
+  if (label == Label::kPositive) {
+    JIM_COUNT(obs::kCounterEngineLabelsPositive);
+  } else {
+    JIM_COUNT(obs::kCounterEngineLabelsNegative);
+  }
 
   session.class_status[class_id] = label == Label::kPositive
                                        ? ClassStatus::kLabeledPositive
@@ -337,6 +372,7 @@ util::Status InferenceEngine::LabelImpl(size_t class_id, size_t tuple_index,
   if (!was_informative) {
     // Consistent label on a grayed-out tuple: accepted, teaches nothing.
     ++wasted_interactions_;
+    JIM_COUNT(obs::kCounterEngineLabelsWasted);
     return util::OkStatus();
   }
   // The labeled class leaves the pool as kLabeled*; pull it off the worklist
@@ -431,6 +467,7 @@ InferenceEngine::LabelImpactPair InferenceEngine::SimulateLabelBoth(
 InferenceEngine::LabelImpactPair InferenceEngine::SimulateLabelBothWith(
     size_t class_id, lat::Partition& meet_tmp,
     lat::PartitionScratch& scratch) const {
+  JIM_COUNT(obs::kCounterEngineSimulateLabelBoth);
   JIM_CHECK_LT(class_id, classes_->size());
   JIM_CHECK(session_->class_status[class_id] == ClassStatus::kInformative);
   const lat::Partition& k_labeled = (*knowledge_)[class_id];

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/json_writer.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -82,6 +85,35 @@ std::optional<size_t> ChooseClass(const InferenceEngine& engine,
   return std::nullopt;
 }
 
+/// Running total of SimulateLabelBoth evaluations, read from the global
+/// metrics counter. 0 whenever metrics are off — per-step simulate counts
+/// in traces are best-effort observability, never behavior.
+uint64_t SimulateCallsSoFar() {
+  if (!obs::MetricsEnabled()) return 0;
+  static obs::Counter& counter = obs::MetricsRegistry::Instance().GetCounter(
+      obs::kCounterEngineSimulateLabelBoth);
+  return counter.Value();
+}
+
+void RecordTraceStep(obs::SessionTracer& tracer, size_t index,
+                     const SessionStep& step, bool accepted,
+                     size_t worklist_before, size_t worklist_after,
+                     uint64_t simulate_calls) {
+  obs::TraceStep event;
+  event.step = index;
+  event.class_id = step.class_id;
+  event.tuple_index = step.tuple_index;
+  event.positive = step.label == Label::kPositive;
+  event.accepted = accepted;
+  event.pruned_classes = step.pruned_classes;
+  event.pruned_tuples = step.pruned_tuples;
+  event.worklist_before = worklist_before;
+  event.worklist_after = worklist_after;
+  event.simulate_label_calls = simulate_calls;
+  event.micros = step.micros;
+  tracer.RecordStep(event);
+}
+
 }  // namespace
 
 SessionResult RunSession(std::shared_ptr<const TupleStore> store,
@@ -109,10 +141,22 @@ SessionResult RunSessionOnEngine(InferenceEngine& engine,
   SessionResult result;
   util::Stopwatch session_clock;
 
+  if (options.tracer != nullptr) {
+    obs::SessionTracer::SessionMeta meta;
+    meta.strategy = std::string(strategy.name());
+    meta.mode = std::string(InteractionModeToString(options.mode));
+    meta.instance = store.name();
+    meta.num_tuples = engine.num_tuples();
+    meta.num_classes = engine.num_classes();
+    options.tracer->BeginSession(std::move(meta));
+  }
+
   while (!engine.IsDone()) {
     JIM_CHECK_LT(result.steps.size(), options.max_steps)
         << "session exceeded max_steps — engine failed to make progress";
     util::Stopwatch step_clock;
+    const uint64_t simulate_before =
+        options.tracer != nullptr ? SimulateCallsSoFar() : 0;
     const std::optional<size_t> choice =
         ChooseClass(engine, strategy, options, user_rng, tuple_labeled);
     if (!choice.has_value()) {
@@ -123,6 +167,8 @@ SessionResult RunSessionOnEngine(InferenceEngine& engine,
     }
     const size_t class_id = *choice;
     const size_t tuple_index = engine.tuple_class(class_id).tuple_indices[0];
+    const uint64_t simulate_spent =
+        options.tracer != nullptr ? SimulateCallsSoFar() - simulate_before : 0;
 
     const auto stats_before = engine.GetStats();
     // Decode-on-demand: the only Value materialization in a session is the
@@ -141,6 +187,11 @@ SessionResult RunSessionOnEngine(InferenceEngine& engine,
       ++result.wasted_interactions;
       step.micros = step_clock.ElapsedMicros();
       result.steps.push_back(step);
+      if (options.tracer != nullptr) {
+        RecordTraceStep(*options.tracer, result.steps.size() - 1, step,
+                        /*accepted=*/false, stats_before.informative_classes,
+                        stats_before.informative_classes, simulate_spent);
+      }
       continue;
     }
     const auto stats_after = engine.GetStats();
@@ -150,6 +201,11 @@ SessionResult RunSessionOnEngine(InferenceEngine& engine,
         (stats_before.informative_tuples - stats_after.informative_tuples);
     step.micros = step_clock.ElapsedMicros();
     result.steps.push_back(step);
+    if (options.tracer != nullptr) {
+      RecordTraceStep(*options.tracer, result.steps.size() - 1, step,
+                      /*accepted=*/true, stats_before.informative_classes,
+                      stats_after.informative_classes, simulate_spent);
+    }
   }
 
   result.interactions = result.steps.size();
@@ -158,6 +214,11 @@ SessionResult RunSessionOnEngine(InferenceEngine& engine,
   result.identified_goal = InstanceEquivalent(store, *result.result, goal);
   result.final_stats = engine.GetStats();
   result.wasted_interactions += result.final_stats.wasted_interactions;
+  if (options.tracer != nullptr) {
+    options.tracer->EndSession(result.identified_goal, result.interactions,
+                               result.wasted_interactions,
+                               result.total_seconds);
+  }
   return result;
 }
 

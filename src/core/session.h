@@ -14,6 +14,10 @@
 #include "relational/relation.h"
 #include "util/status.h"
 
+namespace jim::obs {
+class SessionTracer;
+}  // namespace jim::obs
+
 namespace jim::core {
 
 /// The four interaction types of the demonstration (paper Figure 3).
@@ -79,6 +83,10 @@ struct SessionOptions {
   /// Safety valve: abort (JIM_CHECK) if a session exceeds this many steps —
   /// a session can never legitimately need more labels than tuple classes.
   size_t max_steps = 1 << 20;
+  /// Optional structured tracer (obs/trace.h): one typed event per step.
+  /// Purely observational — a session runs identically with or without it
+  /// (the parity suites pin this). Not owned; null means "don't trace".
+  obs::SessionTracer* tracer = nullptr;
 };
 
 /// Runs a complete inference session: the oracle answers, the strategy (and

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace jim::exec {
@@ -9,6 +12,8 @@ namespace jim::exec {
 namespace {
 
 core::SessionResult RunOne(const SessionSpec& spec) {
+  JIM_SPAN(obs::kHistExecSessionMicros);
+  JIM_COUNT(obs::kCounterExecBatchSessions);
   JIM_CHECK(spec.prototype != nullptr);
   JIM_CHECK(spec.make_strategy != nullptr);
   core::InferenceEngine engine = *spec.prototype;  // cheap COW clone
@@ -24,6 +29,7 @@ core::SessionResult RunOne(const SessionSpec& spec) {
 
 std::vector<core::SessionResult> BatchSessionRunner::Run(
     const std::vector<SessionSpec>& specs) const {
+  JIM_COUNT(obs::kCounterExecBatchRuns);
   std::vector<core::SessionResult> results(specs.size());
   if (pool_ == nullptr || pool_->threads() <= 1 || specs.size() <= 1) {
     for (size_t i = 0; i < specs.size(); ++i) results[i] = RunOne(specs[i]);

@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace jim::exec {
@@ -21,6 +23,8 @@ ThreadPool::ThreadPool(size_t threads) {
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  JIM_COUNT(obs::kCounterExecPoolsCreated);
+  JIM_COUNT_N(obs::kCounterExecWorkersSpawned, workers);
 }
 
 ThreadPool::~ThreadPool() {
@@ -39,6 +43,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     JIM_CHECK(!stopping_) << "Submit on a stopping pool";
     tasks_.push(std::move(task));
   }
+  JIM_COUNT(obs::kCounterExecTasksSubmitted);
   wake_.notify_one();
 }
 
@@ -63,6 +68,9 @@ void ThreadPool::ParallelFor(
       << "nested ParallelFor on the same pool would deadlock; use a second "
          "pool for the inner level";
   const size_t chunks = std::min(threads(), n);
+  JIM_COUNT(obs::kCounterExecParallelForCalls);
+  JIM_COUNT_N(obs::kCounterExecParallelForChunks, chunks);
+  JIM_OBSERVE(obs::kHistExecParallelForItems, n);
 
   // Per-call completion latch + first-failure slot (ordered by chunk id so
   // the rethrown exception is deterministic, not a scheduling artifact).

@@ -1,0 +1,217 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "util/json_writer.h"
+
+namespace jim::obs {
+
+namespace {
+
+/// -1 = not yet resolved, 0 = off, 1 = on. Same contract as the invariant
+/// audit flag in util/check.cc: relaxed ordering is enough because a stale
+/// read can at worst drop (or record) one observation — metrics never feed
+/// back into behavior.
+std::atomic<int> g_metrics_state{-1};
+
+bool ResolveDefault() {
+  const char* env = std::getenv("JIM_METRICS");
+  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  int state = g_metrics_state.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = ResolveDefault() ? 1 : 0;
+    g_metrics_state.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace internal_metrics {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t shard =
+      next_thread.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal_metrics
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  size_t width = 0;  // bit width of `value` (0 for 0)
+  while (value != 0) {
+    ++width;
+    value >>= 1;
+  }
+  return width < kNumBuckets ? width : kNumBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket + 1 >= kNumBuckets) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return (uint64_t{1} << bucket) - 1;
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  for (const auto& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram()))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot h = histogram->Snap();
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.count = h.count;
+    data.sum = h.sum;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.buckets[i] != 0) {
+        data.buckets.emplace_back(Histogram::BucketUpperBound(i),
+                                  h.buckets[i]);
+      }
+    }
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+void MetricsSnapshot::AppendTo(util::JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) {
+    json.KeyValue(name, value);
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) {
+    json.KeyValue(name, value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& histogram : histograms) {
+    json.Key(histogram.name).BeginObject();
+    json.KeyValue("count", histogram.count);
+    json.KeyValue("sum", histogram.sum);
+    json.Key("buckets").BeginArray();
+    for (const auto& [upper, count] : histogram.buckets) {
+      json.BeginArray().Value(upper).Value(count).EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  util::JsonWriter json;
+  AppendTo(json);
+  return json.str();
+}
+
+}  // namespace jim::obs

@@ -1,0 +1,57 @@
+#ifndef JIM_OBS_SPAN_H_
+#define JIM_OBS_SPAN_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace jim::obs {
+
+/// RAII timing span: elapsed wall time between Start() and scope exit lands
+/// in a latency histogram as microseconds. Default-constructed spans are
+/// disarmed and never touch the clock, which is how JIM_SPAN keeps the
+/// metrics-off cost of a span site to a single branch — the Stopwatch (and
+/// its steady_clock read) only exists once metrics are on.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ~ScopedSpan() {
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<uint64_t>(watch_->ElapsedMicros()));
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Arms the span: time from this call to destruction is recorded in `h`.
+  void Start(Histogram& h) {
+    hist_ = &h;
+    watch_.emplace();
+  }
+
+ private:
+  Histogram* hist_ = nullptr;
+  std::optional<util::Stopwatch> watch_;
+};
+
+}  // namespace jim::obs
+
+/// Times the rest of the enclosing scope into latency histogram `name`
+/// (e.g. JIM_SPAN("engine.lookahead")). Statement-shaped: use at block
+/// scope, not as the body of an unbraced if/for. Disabled cost is one
+/// branch; the histogram lookup is a per-site function-local static.
+#define JIM_SPAN_INTERNAL(name, unique)                                  \
+  ::jim::obs::ScopedSpan JIM_OBS_CONCAT(jim_obs_span_, unique);          \
+  if (::jim::obs::MetricsEnabled()) {                                    \
+    static ::jim::obs::Histogram& JIM_OBS_CONCAT(jim_obs_span_hist_,     \
+                                                 unique) =               \
+        ::jim::obs::MetricsRegistry::Instance().GetHistogram(name);      \
+    JIM_OBS_CONCAT(jim_obs_span_, unique)                                \
+        .Start(JIM_OBS_CONCAT(jim_obs_span_hist_, unique));              \
+  }                                                                      \
+  static_assert(true, "require a trailing semicolon")
+#define JIM_SPAN(name) JIM_SPAN_INTERNAL(name, __COUNTER__)
+
+#endif  // JIM_OBS_SPAN_H_

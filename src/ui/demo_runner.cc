@@ -4,7 +4,11 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace jim::ui {
@@ -69,6 +73,14 @@ std::optional<ParsedAnswer> ParseAnswer(const std::string& command) {
   return answer;
 }
 
+/// Simulate-counter reading for per-step trace attribution; 0 with metrics
+/// off (the trace is still structurally complete, just uncosted).
+uint64_t SimulateCallsSoFar() {
+  if (!obs::MetricsEnabled()) return 0;
+  return obs::MetricsRegistry::Instance().CounterValue(
+      obs::kCounterEngineSimulateLabelBoth);
+}
+
 }  // namespace
 
 util::StatusOr<core::JoinPredicate> RunConsoleDemo(
@@ -97,7 +109,31 @@ util::StatusOr<core::JoinPredicate> RunConsoleDemo(
   if (options.mode == InteractionMode::kLabelAll) render.color = false;
   out << RenderInstance(engine, render);
 
+  std::optional<util::Stopwatch> session_clock;
+  size_t trace_steps = 0;
+  if (options.tracer != nullptr) {
+    obs::SessionTracer::SessionMeta meta;
+    meta.strategy = std::string(strategy->name());
+    meta.mode = std::string(core::InteractionModeToString(options.mode));
+    meta.instance = engine.store().name();
+    meta.num_tuples = engine.num_tuples();
+    meta.num_classes = engine.num_classes();
+    options.tracer->BeginSession(std::move(meta));
+    session_clock.emplace();
+  }
+
   while (!engine.IsDone()) {
+    // Trace bookkeeping is tracer-gated so an untraced demo never reads the
+    // clock or walks the class table beyond what the UI itself needs.
+    std::optional<util::Stopwatch> step_clock;
+    core::InferenceEngine::Stats stats_before;
+    uint64_t simulate_before = 0;
+    if (options.tracer != nullptr) {
+      step_clock.emplace();
+      stats_before = engine.GetStats();
+      simulate_before = SimulateCallsSoFar();
+    }
+
     // What is being asked this round?
     std::vector<size_t> proposed_classes;
     std::string prompt;
@@ -187,21 +223,48 @@ util::StatusOr<core::JoinPredicate> RunConsoleDemo(
 
     // Resolve the answer to a tuple and submit.
     util::Status status;
+    size_t submitted_class = 0;
+    size_t submitted_tuple = 0;
     if (free_mode) {
       if (answer->number == 0 || answer->number > engine.num_tuples()) {
         out << "row number out of range\n";
         continue;
       }
-      status = engine.SubmitTupleLabel(answer->number - 1, answer->label);
+      submitted_tuple = answer->number - 1;
+      submitted_class = engine.class_of_tuple(submitted_tuple);
+      status = engine.SubmitTupleLabel(submitted_tuple, answer->label);
     } else if (options.mode == InteractionMode::kTopK) {
       if (answer->number == 0 || answer->number > proposed_classes.size()) {
         out << "option number out of range\n";
         continue;
       }
-      status = engine.SubmitClassLabel(proposed_classes[answer->number - 1],
-                                       answer->label);
+      submitted_class = proposed_classes[answer->number - 1];
+      submitted_tuple = engine.tuple_class(submitted_class).tuple_indices[0];
+      status = engine.SubmitClassLabel(submitted_class, answer->label);
     } else {
-      status = engine.SubmitClassLabel(proposed_classes[0], answer->label);
+      submitted_class = proposed_classes[0];
+      submitted_tuple = engine.tuple_class(submitted_class).tuple_indices[0];
+      status = engine.SubmitClassLabel(submitted_class, answer->label);
+    }
+    if (options.tracer != nullptr) {
+      const auto stats_after = engine.GetStats();
+      obs::TraceStep event;
+      event.step = trace_steps++;
+      event.class_id = submitted_class;
+      event.tuple_index = submitted_tuple;
+      event.positive = answer->label == Label::kPositive;
+      event.accepted = status.ok();
+      if (status.ok()) {
+        event.pruned_classes = stats_before.informative_classes -
+                               stats_after.informative_classes;
+        event.pruned_tuples =
+            stats_before.informative_tuples - stats_after.informative_tuples;
+      }
+      event.worklist_before = stats_before.informative_classes;
+      event.worklist_after = stats_after.informative_classes;
+      event.simulate_label_calls = SimulateCallsSoFar() - simulate_before;
+      event.micros = step_clock->ElapsedMicros();
+      options.tracer->RecordStep(event);
     }
     if (!status.ok()) {
       out << "rejected: " << status.message() << "\n";
@@ -210,6 +273,13 @@ util::StatusOr<core::JoinPredicate> RunConsoleDemo(
     if (options.mode != InteractionMode::kLabelAll) {
       out << RenderProgress(engine) << "\n";
     }
+  }
+
+  if (options.tracer != nullptr) {
+    const auto final_stats = engine.GetStats();
+    options.tracer->EndSession(/*identified_goal=*/true, trace_steps,
+                               final_stats.wasted_interactions,
+                               session_clock->ElapsedSeconds());
   }
 
   const core::JoinPredicate result = engine.Result();

@@ -10,6 +10,10 @@
 #include "ui/console_ui.h"
 #include "util/status.h"
 
+namespace jim::obs {
+class SessionTracer;
+}  // namespace jim::obs
+
 namespace jim::ui {
 
 /// Options for an interactive console demo session.
@@ -23,6 +27,10 @@ struct DemoOptions {
   /// drive the full UI loop.
   std::unique_ptr<core::Oracle> auto_oracle;
   uint64_t seed = 11;
+  /// Optional structured tracer (obs/trace.h): records one typed event per
+  /// submitted label, mirroring core::SessionOptions::tracer for the
+  /// console loop. Purely observational; not owned; null = don't trace.
+  obs::SessionTracer* tracer = nullptr;
 };
 
 /// Error messages RunConsoleDemo returns for the two premature-end cases.

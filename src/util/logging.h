@@ -1,20 +1,44 @@
 #ifndef JIM_UTIL_LOGGING_H_
 #define JIM_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace jim::util {
 
 /// Severity levels for the process-wide logger.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-/// Sets the minimum severity that is emitted to stderr. Default: kInfo.
+/// Sets the minimum severity that is emitted to stderr. The default is
+/// kInfo, overridable at startup through the JIM_LOG_LEVEL environment
+/// variable (resolved lazily on the first threshold read; an explicit
+/// SetLogLevel always wins).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses a log-level spelling: full names ("debug", "info", "warning",
+/// "error", "fatal"), single letters ("d".."f"), or digits "0".."4" —
+/// case-insensitive, surrounding whitespace ignored. nullopt otherwise.
+/// This is the JIM_LOG_LEVEL grammar.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
 namespace internal_logging {
+
+/// The "[I +12.345ms T0 file.cc:42] " prefix every emitted line carries:
+/// severity tag, monotonic milliseconds since the process logging clock
+/// started, a small dense thread id (first-log order), and the call site.
+/// Exposed so tests can pin the format without scraping stderr.
+std::string FormatLogPrefix(LogLevel level, const char* file, int line);
+
+/// Microseconds since the process logging clock started (first use).
+int64_t MonotonicLogMicros();
+
+/// Dense id of the calling thread: 0, 1, 2, ... in first-log order.
+int LogThreadId();
 
 /// Accumulates one log line and emits it on destruction.
 /// Not for direct use; see the JIM_LOG / JIM_CHECK macros below.

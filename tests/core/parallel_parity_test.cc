@@ -9,6 +9,8 @@
 #include "core/jim.h"
 #include "exec/thread_pool.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "workload/synthetic.h"
 #include "workload/travel.h"
@@ -144,6 +146,40 @@ TEST(ParallelParityTest, FullSessionTranscriptsIdenticalAcrossThreadCounts) {
           << "seed=" << seed << " threads=" << threads;
     }
   }
+}
+
+TEST(ParallelParityTest, MetricsAndTracingNeverPerturbTranscripts) {
+  // The observability determinism contract: with the metrics registry hot
+  // and a tracer attached, every transcript is byte-for-byte the one a
+  // metrics-off run produces, at every thread count. Metrics observe the
+  // session; they must never steer it.
+  const bool metrics_were_enabled = obs::MetricsEnabled();
+  const auto workload = MakeWorkload(11);
+
+  obs::SetMetricsEnabled(false);
+  LookaheadStrategy serial(LookaheadStrategy::Objective::kEntropy);
+  serial.set_thread_pool(nullptr);
+  const SessionResult reference =
+      RunSession(workload.instance, workload.goal, serial);
+  ASSERT_TRUE(reference.identified_goal);
+
+  obs::SetMetricsEnabled(true);
+  for (size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    LookaheadStrategy parallel(LookaheadStrategy::Objective::kEntropy);
+    parallel.set_thread_pool(&pool);
+    obs::SessionTracer tracer;
+    ExactOracle oracle(workload.goal);
+    SessionOptions options;
+    options.tracer = &tracer;
+    InferenceEngine engine(workload.instance);
+    const SessionResult result = RunSessionOnEngine(
+        engine, workload.goal, parallel, oracle, options);
+    EXPECT_EQ(Transcript(result), Transcript(reference))
+        << "threads=" << threads;
+    EXPECT_EQ(tracer.steps().size(), reference.steps.size());
+  }
+  obs::SetMetricsEnabled(metrics_were_enabled);
 }
 
 TEST(ParallelParityTest, Figure1SessionTranscriptParity) {

@@ -29,6 +29,7 @@
 #include "storage/env.h"
 #include "storage/fault_env.h"
 #include "storage/mapped_store.h"
+#include "storage/metrics_env.h"
 #include "storage/snapshot.h"
 #include "storage/store_writer.h"
 #include "util/status.h"
@@ -338,14 +339,19 @@ TEST(CrashRecoveryTest, PlantedStaleTmpIsIgnoredByLoadThenCollected) {
 
 TEST(CrashRecoveryTest, TransientFaultsRetryToSuccessInWriteStore) {
   const auto store = core::MakeRelationStore(MarkerRelation("one", 3));
-  FaultInjectionEnv env;
+  FaultInjectionEnv fault;
+  // A MetricsEnv between the writer and the fault schedule turns "did the
+  // write retry" into an exact count, independent of the injectable clock.
+  MetricsEnv env(&fault);
   StoreWriterOptions options;
   options.env = &env;
   // Fault the first append of the store image (create=0, append=1).
-  env.FailAtOp(1, util::UnavailableError("injected EAGAIN"));
+  fault.FailAtOp(1, util::UnavailableError("injected EAGAIN"));
   const util::Status written = WriteStore(*store, "vroot/r.jimc", options);
   ASSERT_TRUE(written.ok()) << written;
-  EXPECT_EQ(env.sleeps_recorded(), 1u);
+  EXPECT_EQ(fault.sleeps_recorded(), 1u);
+  EXPECT_EQ(env.counts().sleeps, 1u);     // exactly one backoff retry
+  EXPECT_GE(env.counts().failures, 1u);   // the faulted append was counted
   const auto reopened = OpenStore("vroot/r.jimc", &env);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   EXPECT_EQ((*reopened)->DecodeValue(0, 0).AsString(), "one");

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "storage/env.h"
+#include "storage/metrics_env.h"
 #include "util/status.h"
 
 namespace jim::storage {
@@ -61,17 +62,25 @@ TEST(FaultEnvTest, ModelFilesAreVirtualAndReadable) {
 }
 
 TEST(FaultEnvTest, FailAtOpIsOneShotAndRetryRecovers) {
-  FaultInjectionEnv env;
+  FaultInjectionEnv fault;
+  // MetricsEnv in front of the fault schedule: the retry count is asserted
+  // twice below — once from the injectable clock, once from the metrics
+  // tally — so the two observability paths cross-check each other.
+  MetricsEnv env(&fault);
   // Fault the append (op #1 of the atomic write: create=0, append=1).
-  env.FailAtOp(1, util::UnavailableError("injected EINTR"));
+  fault.FailAtOp(1, util::UnavailableError("injected EINTR"));
   RetryPolicy policy;
   const util::Status status = RetryWithBackoff(env, policy, [&] {
     return WriteFileAtomically(env, "v/b.txt", "payload");
   });
   ASSERT_TRUE(status.ok()) << status;
   // Exactly one backoff sleep, recorded through the injectable clock.
-  EXPECT_EQ(env.sleeps_recorded(), 1u);
-  EXPECT_GT(env.micros_slept(), 0u);
+  EXPECT_EQ(fault.sleeps_recorded(), 1u);
+  EXPECT_GT(fault.micros_slept(), 0u);
+  // ... and mirrored by the decorator: one retry, one counted failure.
+  EXPECT_EQ(env.counts().sleeps, 1u);
+  EXPECT_EQ(env.counts().micros_slept, fault.micros_slept());
+  EXPECT_GE(env.counts().failures, 1u);
   const auto read = env.ReadFileToString("v/b.txt");
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(*read, "payload");

@@ -20,6 +20,12 @@ the library tree:
   address-hash          reinterpret_cast of a pointer to an integer in
                         src/ — the first step of every address-as-hash
                         scheme (and of address-keyed logic in general).
+  wallclock             Any <chrono> include, std::chrono mention, concrete
+                        clock type, or C clock read in src/{core,lattice,
+                        query}. Tighter than nondet-call: inference code may
+                        not even *plumb* time. Wall-clock reads belong in
+                        src/obs/ and util/stopwatch.h only — observability
+                        wraps the engine, never the other way around.
   include-guard         Header guard not of the canonical
                         JIM_<PATH>_H_ form, missing, or with a stale
                         trailing #endif comment.
@@ -75,6 +81,18 @@ NONDET_RES = [
 ]
 ADDRESS_HASH_RE = re.compile(
     r"reinterpret_cast\s*<\s*(?:std\s*::\s*)?u?int(?:ptr_t|64_t)\s*>")
+# wallclock: inference code must stay time-free so sessions replay bitwise
+# identically. Timing wrappers live outside these directories (src/obs/,
+# util/stopwatch.h), so even *mentioning* chrono here is a finding.
+WALLCLOCK_SCOPE = ("core", "lattice", "query")
+WALLCLOCK_RES = [
+    (re.compile(r"#\s*include\s*<chrono>"), "<chrono> include"),
+    (re.compile(r"\bstd\s*::\s*chrono\b"), "std::chrono use"),
+    (re.compile(r"\b(?:steady_clock|system_clock|high_resolution_clock)\b"),
+     "concrete clock type"),
+    (re.compile(r"\b(?:clock_gettime|gettimeofday|clock)\s*\("),
+     "C clock read"),
+]
 # raw-io: storage code bypassing the Env seam. Matched in src/storage/ only,
 # with env.cc exempt (it IS the seam's posix backend).
 RAW_IO_RES = [
@@ -147,6 +165,8 @@ def lint_file(rel_path, findings):
 
     in_iteration_scope = any(
         rel_path.startswith(f"src/{d}/") for d in ITERATION_SCOPE)
+    in_wallclock_scope = any(
+        rel_path.startswith(f"src/{d}/") for d in WALLCLOCK_SCOPE)
     if in_iteration_scope:
         unordered = unordered_names(code_lines)
         for number, line in enumerate(code_lines, 1):
@@ -183,6 +203,13 @@ def lint_file(rel_path, findings):
                 "address-hash", rel_path, number, raw_lines[number - 1],
                 "pointer reinterpreted as integer — address-dependent "
                 "behavior"))
+        if in_wallclock_scope:
+            for regex, what in WALLCLOCK_RES:
+                if regex.search(line):
+                    findings.append((
+                        "wallclock", rel_path, number, raw_lines[number - 1],
+                        f"{what} in inference code — wall-clock plumbing "
+                        "belongs in src/obs/ or util/stopwatch.h"))
         if (rel_path.startswith("src/storage/")
                 and rel_path not in RAW_IO_EXEMPT):
             for regex, what in RAW_IO_RES:
