@@ -254,6 +254,25 @@ void RegisterAll(std::vector<BenchResult>& results) {
   };
   strategy_sweep("LookaheadPickClass", "lookahead-entropy", 7);
   strategy_sweep("LocalDecision", "local-bottom-up", 8);
+  // Cutoff-pruned vs exhaustive lookahead decision on the serial path
+  // (arg 1 = cutoff pruning on, the production default; arg 0 = the
+  // exhaustive reference scan). Same pick either way — the cutoff only
+  // skips candidates that provably cannot win — so the ratio is pure
+  // work saved; WriteJson derives lookahead_cutoff_speedup_{10k,100k}.
+  for (size_t tuples : {10000, 100000}) {
+    const auto workload = MakeSynthetic(tuples, 7);
+    const core::InferenceEngine engine(workload.instance);
+    const char* suffix = tuples == 10000 ? "10k" : "100k";
+    for (int cutoff : {0, 1}) {
+      core::LookaheadStrategy strategy(
+          core::LookaheadStrategy::Objective::kEntropy);
+      strategy.set_thread_pool(nullptr);
+      strategy.set_cutoff_enabled(cutoff == 1);
+      results.push_back(
+          RunBench(std::string("LookaheadPickClassCutoff") + suffix, cutoff,
+                   [&] { DoNotOptimize(strategy.PickClass(engine)); }));
+    }
+  }
   // The same 10k-tuple lookahead decision on an explicit exec::ThreadPool at
   // 1/2/4 threads (arg = thread count; 1 = the serial reference path). The
   // picked class is bitwise-identical at every count — parallelism only
@@ -306,35 +325,84 @@ void RegisterAll(std::vector<BenchResult>& results) {
   }
 }
 
-/// Metrics-on costing pass (untimed; runs after the calibrated sweeps so
-/// their ns/op stay comparable with metrics-off history): one serial
-/// lookahead-entropy decision on the 10k instance, counting how many
-/// SimulateLabelBoth evaluations a single PickClass costs. The work-count
-/// complement of the LookaheadPickClass latency above — latency regressions
-/// split into "each simulation got slower" vs "we simulate more".
-uint64_t MeasureSimulateCallsPerPick() {
+/// Work counts from the metrics registry (untimed; runs after the
+/// calibrated sweeps so their ns/op stay comparable with metrics-off
+/// history). The work-count complement of the latency rows above — latency
+/// regressions split into "each simulation got slower" vs "we simulate
+/// more".
+struct WorkCounts {
+  /// SimulateLabelBoth evaluations one serial lookahead-entropy PickClass
+  /// costs on the 10k instance (production path, cutoff pruning on).
+  uint64_t simulate_calls_per_pick = 0;
+  /// Of the candidates that decision considered, the fraction whose
+  /// simulation the cutoff skipped: skips / (skips + evaluations).
+  double cutoff_skip_fraction = 0;
+  /// Classes woken (watch-drained and exactly retested) per negative label
+  /// over a full 10k-instance session — the pre-watch scan visited the whole
+  /// worklist instead.
+  double woken_classes_per_negative_label = 0;
+};
+
+WorkCounts MeasureWorkCounts() {
   obs::SetMetricsEnabled(true);
-  const auto workload = MakeSynthetic(10000, 7);
-  const core::InferenceEngine engine(workload.instance);
-  auto strategy = core::MakeStrategy("lookahead-entropy").value();
-  if (auto* lookahead =
-          dynamic_cast<core::LookaheadStrategy*>(strategy.get())) {
-    lookahead->set_thread_pool(nullptr);
-  }
+  WorkCounts counts;
   auto& registry = obs::MetricsRegistry::Instance();
-  const uint64_t before =
-      registry.CounterValue(obs::kCounterEngineSimulateLabelBoth);
-  DoNotOptimize(strategy->PickClass(engine));
-  return registry.CounterValue(obs::kCounterEngineSimulateLabelBoth) - before;
+  const auto workload = MakeSynthetic(10000, 7);
+  {
+    const core::InferenceEngine engine(workload.instance);
+    core::LookaheadStrategy strategy(
+        core::LookaheadStrategy::Objective::kEntropy);
+    strategy.set_thread_pool(nullptr);
+    const uint64_t sims_before =
+        registry.CounterValue(obs::kCounterEngineSimulateLabelBoth);
+    const uint64_t skips_before =
+        registry.CounterValue(obs::kCounterEngineCutoffSkips);
+    DoNotOptimize(strategy.PickClass(engine));
+    const uint64_t sims =
+        registry.CounterValue(obs::kCounterEngineSimulateLabelBoth) -
+        sims_before;
+    const uint64_t skips =
+        registry.CounterValue(obs::kCounterEngineCutoffSkips) - skips_before;
+    counts.simulate_calls_per_pick = sims;
+    if (sims + skips > 0) {
+      counts.cutoff_skip_fraction =
+          static_cast<double>(skips) / static_cast<double>(sims + skips);
+    }
+  }
+  {
+    core::LookaheadStrategy strategy(
+        core::LookaheadStrategy::Objective::kEntropy);
+    strategy.set_thread_pool(nullptr);
+    const uint64_t wakes_before =
+        registry.CounterValue(obs::kCounterEngineWatchWakes);
+    const uint64_t negatives_before =
+        registry.CounterValue(obs::kCounterEngineLabelsNegative);
+    DoNotOptimize(
+        core::RunSession(workload.instance, workload.goal, strategy)
+            .interactions);
+    const uint64_t wakes =
+        registry.CounterValue(obs::kCounterEngineWatchWakes) - wakes_before;
+    const uint64_t negatives =
+        registry.CounterValue(obs::kCounterEngineLabelsNegative) -
+        negatives_before;
+    if (negatives > 0) {
+      counts.woken_classes_per_negative_label =
+          static_cast<double>(wakes) / static_cast<double>(negatives);
+    }
+  }
+  return counts;
 }
 
 bool WriteJson(const std::vector<BenchResult>& results,
-               uint64_t simulate_calls_per_pick, const std::string& path) {
+               const WorkCounts& work, const std::string& path) {
   util::JsonWriter json;
   json.BeginObject();
   json.KeyValue("benchmark", "micro");
   bench::AppendMetaBlock(json);
-  json.KeyValue("simulate_label_calls_per_pick", simulate_calls_per_pick);
+  json.KeyValue("simulate_label_calls_per_pick", work.simulate_calls_per_pick);
+  json.KeyValue("lookahead_cutoff_skip_fraction", work.cutoff_skip_fraction);
+  json.KeyValue("propagate_woken_classes_per_label",
+                work.woken_classes_per_negative_label);
   // Wall-clock speedup of the 10k-tuple lookahead decision at 4 threads vs
   // the serial path (values < 1 mean the box lacks the cores to win).
   double serial_ns = 0;
@@ -411,6 +479,17 @@ bool WriteJson(const std::vector<BenchResult>& results,
     json.KeyValue("mmap_cold_open_vs_ingest_speedup",
                   ingest_100k_ns / mmap_open_ns);
   }
+  // Exhaustive-scan vs cutoff-pruned lookahead decision (same pick, work
+  // saved only; values > 1 mean the cutoff wins).
+  for (const auto& size : sizes) {
+    const double exhaustive_ns =
+        find_ns("LookaheadPickClassCutoff" + size.first, 0);
+    const double pruned_ns = find_ns("LookaheadPickClassCutoff" + size.first, 1);
+    if (exhaustive_ns > 0 && pruned_ns > 0) {
+      json.KeyValue("lookahead_cutoff_speedup_" + size.first,
+                    exhaustive_ns / pruned_ns);
+    }
+  }
   json.Key("results");
   json.BeginArray();
   for (const auto& r : results) {
@@ -451,7 +530,7 @@ int main(int argc, char** argv) {
 
   std::vector<BenchResult> results;
   RegisterAll(results);
-  const uint64_t simulate_calls_per_pick = MeasureSimulateCallsPerPick();
+  const WorkCounts work = MeasureWorkCounts();
 
   jim::util::TablePrinter table({"benchmark", "arg", "iterations", "ns/op"});
   table.SetAlignments({jim::util::Align::kLeft, jim::util::Align::kRight,
@@ -463,7 +542,7 @@ int main(int argc, char** argv) {
   }
   std::cout << table.ToString();
 
-  if (!WriteJson(results, simulate_calls_per_pick, json_path)) {
+  if (!WriteJson(results, work, json_path)) {
     std::cerr << "bench_micro: failed to write " << json_path << "\n";
     return 1;
   }

@@ -214,6 +214,67 @@ class InferenceEngine {
                                         lat::Partition& meet_tmp,
                                         lat::PartitionScratch& scratch) const;
 
+  /// Upper-bound oracle for cutoff-pruned lookahead: given caps on the two
+  /// pruning counts (n⁺ ≤ pos_cap, n⁻ ≤ neg_cap), returns a value ≥ the
+  /// aggregate score of any feasible (n⁺, n⁻). Implemented by the strategy
+  /// over its (monotone) objective; the engine only ever *compares* bounds,
+  /// so a looser implementation costs skips, never correctness.
+  class AggregateBoundFn {
+   public:
+    virtual ~AggregateBoundFn() = default;
+    virtual double UpperBound(size_t pos_cap, size_t neg_cap) const = 0;
+  };
+
+  /// Per-decision cached state for the candidate upper bounds, built once by
+  /// PrepareLookaheadBounds and shared (read-only) by every concurrent
+  /// SimulateLabelBothBounded call of that decision:
+  ///   - rank-histogram prefix/suffix tuple sums over the worklist, keyed by
+  ///     rank(K_c) — K_d ≤ K_c forces rank(K_d) ≤ rank(K_c), so the prefix
+  ///     sum at rank(K_c) caps the negative-answer pruning, and (antichain
+  ///     empty) the suffix sum caps the positive-answer pruning;
+  ///   - tuple suffix sums by worklist position, for the in-scan abort:
+  ///     after position i, at most suffix[i] more tuples can ever be added
+  ///     to either count.
+  struct LookaheadBoundsCache {
+    std::vector<size_t> tuples_rank_le;  ///< by rank r: Σ tuples, rank(K)≤r
+    std::vector<size_t> tuples_rank_ge;  ///< by rank r: Σ tuples, rank(K)≥r
+    std::vector<size_t> suffix_tuples;   ///< by worklist position, size+1
+    size_t total_tuples = 0;             ///< Σ tuples over the worklist
+    bool antichain_empty = true;
+  };
+  /// Fills `cache` for the current worklist. O(worklist). Invalidated by any
+  /// accepted label (like InformativeClasses()).
+  void PrepareLookaheadBounds(LookaheadBoundsCache& cache) const;
+
+  /// Cheap per-candidate caps from the cache (see LookaheadBoundsCache).
+  size_t LookaheadNegCap(const LookaheadBoundsCache& cache,
+                         size_t class_id) const {
+    return cache.tuples_rank_le[(*knowledge_)[class_id].Rank()];
+  }
+  size_t LookaheadPosCap(const LookaheadBoundsCache& cache,
+                         size_t class_id) const {
+    return cache.antichain_empty
+               ? cache.tuples_rank_ge[(*knowledge_)[class_id].Rank()]
+               : cache.total_tuples;
+  }
+
+  /// Cutoff-pruned SimulateLabelBothWith: evaluates the candidate only if
+  /// its upper bound can still beat `threshold`. Returns true with *impact
+  /// filled when the candidate was fully evaluated (bitwise-identical to
+  /// SimulateLabelBothWith); returns false with *skip_bound set to the bound
+  /// it was skipped under — either the O(1) precheck bound or an in-scan
+  /// abort bound (current counts + remaining-tuples cap) — when the
+  /// candidate provably cannot reach `threshold`. The skip test is strict
+  /// (bound < threshold), so a candidate tying the best score is always
+  /// evaluated and argmax tie-breaking is unaffected. Thread-safe under the
+  /// same contract as SimulateLabelBothWith.
+  bool SimulateLabelBothBounded(size_t class_id, lat::Partition& meet_tmp,
+                                lat::PartitionScratch& scratch,
+                                const LookaheadBoundsCache& bounds,
+                                const AggregateBoundFn& objective,
+                                double threshold, LabelImpactPair* impact,
+                                double* skip_bound) const;
+
   /// Progress counters for the demo UI and session traces.
   struct Stats {
     size_t num_tuples = 0;
@@ -240,6 +301,11 @@ class InferenceEngine {
   ///     from-scratch θ_P ∧ Part(c) recompute, and the incremental status of
   ///     every class matches a fresh InferenceState::Classify;
   ///   - explicit per-tuple labels agree with their class statuses;
+  ///   - the worklist position index matches the worklist, every informative
+  ///     class is validly watched (a co-block pair of its K_c, or the bottom
+  ///     list exactly when K_c is all singletons) and registered on the
+  ///     matching watcher list, and the pair cover equals a from-scratch
+  ///     recompute over the antichain;
   ///   - the copy-on-write holders are attached and correctly sized.
   /// O(classes · (n² + antichain)); tests call it directly, and every
   /// construction/labeling runs it under JIM_AUDIT (the parity suites and
@@ -247,6 +313,16 @@ class InferenceEngine {
   void CheckInvariants() const;
 
  private:
+  /// Watch-slot sentinels (values of SessionArrays::watch_pair). Real slots
+  /// encode an attribute pair (i, j), i < j, as i * n + j.
+  static constexpr uint32_t kNoWatch = 0xFFFFFFFFu;
+  /// Classes whose knowledge is all-singletons watch "bottom": a singleton
+  /// partition refines every forbidden zone, so any negative label prunes
+  /// them — they live on one shared list instead of a pair slot.
+  static constexpr uint32_t kBottomWatch = 0xFFFFFFFEu;
+  /// Worklist-position sentinel for classes not on the worklist.
+  static constexpr uint32_t kNoPos = 0xFFFFFFFFu;
+
   /// The flat per-class/per-tuple session arrays, grouped under one
   /// copy-on-write holder so a clone shares them until its first Submit
   /// (EngineCopy is then three shared_ptr bumps, not three vector copies).
@@ -255,9 +331,24 @@ class InferenceEngine {
     /// Ids of informative classes, ascending — the dense worklist the
     /// Propagate variants scan and compact.
     std::vector<size_t> informative;
+    /// Position of each class in `informative` (kNoPos once it left the
+    /// pool): O(1) locate for RemoveFromWorklist, maintained for free by the
+    /// compaction loops.
+    std::vector<uint32_t> worklist_pos;
     /// 0 = not explicitly labeled; 1 = labeled positive; 2 = labeled
     /// negative (per tuple).
     std::vector<uint8_t> explicit_label;
+    /// Watch structure for negative-label propagation: every informative
+    /// class is registered on exactly one certificate that must break before
+    /// the class can leave the pool on a negative label — a co-block pair of
+    /// its (fresh) K_c, or the shared bottom list when K_c is all
+    /// singletons. `watch_pair[c]` is that slot (or kNoWatch off-pool);
+    /// `pair_watchers[slot]` / `bottom_watchers` hold the per-slot class
+    /// lists, with lazy deletion (an entry is live only while watch_pair
+    /// still points at the slot).
+    std::vector<uint32_t> watch_pair;
+    std::vector<std::vector<uint32_t>> pair_watchers;
+    std::vector<uint32_t> bottom_watchers;
   };
 
   void BuildClasses(exec::ThreadPool* pool);
@@ -281,11 +372,33 @@ class InferenceEngine {
   /// the common case), else forced negative iff K_c is in a forbidden zone.
   size_t PropagateAfterPositive();
   /// After a negative label: θ_P and the cache are untouched; the only new
-  /// way out of the pool is the fresh forbidden zone, so each worklist class
-  /// takes a single refinement test K_c ≤ `forbidden`.
+  /// way out of the pool is the fresh forbidden zone. Instead of rescanning
+  /// the worklist, this drains exactly the watch lists of `forbidden`'s
+  /// co-block pairs (plus the bottom list): a class whose watched pair is
+  /// split in `forbidden` provably cannot refine it, so only the woken
+  /// classes take the full K_c ≤ `forbidden` test; woken survivors
+  /// re-register on a non-refinement witness pair.
   size_t PropagateAfterNegative(const lat::Partition& forbidden);
-  /// Drops `class_id` from the worklist (on explicit labeling).
+  /// Drops `class_id` from the worklist (on explicit labeling) via its
+  /// position index — no scan.
   void RemoveFromWorklist(size_t class_id);
+
+  /// Registers every informative class on its watch certificate (a co-block
+  /// pair of K_c, or the bottom list). Construction-time only; labeling
+  /// keeps watches current incrementally.
+  void InitializeWatches();
+  /// First co-block pair of `k` outside pair_cover_, encoded as a slot;
+  /// kNoWatch when every co-block pair is covered (or `k` is singletons).
+  /// Preferring uncovered pairs maximizes the positive-propagation
+  /// exemptions AND (the cover contains every pair of the newest forbidden
+  /// zone) guarantees a negative-drain re-watch never lands on a slot still
+  /// being drained.
+  uint32_t UncoveredPairSlot(const lat::Partition& k) const;
+  /// Points `class_id`'s watch at `slot` (a pair slot or kBottomWatch) and
+  /// appends it to the matching watcher list.
+  void AttachWatch(SessionArrays& session, size_t class_id, uint32_t slot);
+  /// Recomputes pair_cover_ from the current antichain. O(|A| · n²).
+  void RebuildPairCover();
 
   /// Detaches knowledge_ from any sharers (copy-on-first-mutate) and returns
   /// the sole-owner vector. Everything that writes K_c goes through here.
@@ -308,6 +421,12 @@ class InferenceEngine {
   /// fan batches of sessions out over clones (exec::BatchSessionRunner).
   /// Negative-only histories never pay for a copy at all.
   std::shared_ptr<std::vector<lat::Partition>> knowledge_;
+  /// Pair cover of the current antichain (see Antichain::FillPairCover),
+  /// sized n·n: pair_cover_[i*n+j] == 1 iff (i, j) is co-block in some
+  /// forbidden-zone member. Derived purely from state_, so it is a plain
+  /// value member (copied with the engine, not COW) rebuilt after every
+  /// accepted label.
+  std::vector<uint8_t> pair_cover_;
   /// Scratch state for the allocation-free kernels; mutable because pure
   /// queries (SimulateLabelBoth) reuse it. Copying an engine copies only
   /// warmed capacity, never live data.

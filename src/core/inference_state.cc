@@ -153,4 +153,12 @@ InferenceState::StateKey InferenceState::MakeStateKey() const {
   return key;
 }
 
+void InferenceState::Swap(InferenceState& other) noexcept {
+  using std::swap;
+  swap(num_attributes_, other.num_attributes_);
+  swap(theta_p_, other.theta_p_);
+  swap(negatives_, other.negatives_);
+  swap(has_positive_example_, other.has_positive_example_);
+}
+
 }  // namespace jim::core

@@ -103,6 +103,12 @@ class InferenceState {
   };
   StateKey MakeStateKey() const;
 
+  /// O(1) state exchange (vector-swap of θ_P and the antichain): what the
+  /// speculative-search trail (core/speculation.h) uses to undo a label —
+  /// the pre-label state parks in a pooled frame and swaps back on Undo, so
+  /// an apply/undo pair never reallocates in steady state.
+  void Swap(InferenceState& other) noexcept;
+
   /// Invariant audit (see util/check.h): θ_P and the antichain are each
   /// internally canonical, of the right arity, every forbidden member lies
   /// strictly below θ_P (ApplyLabel always inserts θ_P ∧ Part(s), and

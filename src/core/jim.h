@@ -25,6 +25,7 @@
 #include "core/oracle.h"         // IWYU pragma: export
 #include "core/selection_inference.h"  // IWYU pragma: export
 #include "core/session.h"        // IWYU pragma: export
+#include "core/speculation.h"    // IWYU pragma: export
 #include "core/strategies.h"     // IWYU pragma: export
 #include "core/tuple_store.h"    // IWYU pragma: export
 

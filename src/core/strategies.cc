@@ -1,11 +1,13 @@
 #include "core/strategies.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
 
+#include "core/speculation.h"
 #include "exec/parallel.h"
 #include "util/logging.h"
 
@@ -184,44 +186,159 @@ std::vector<double> LookaheadStrategy::Score(
   return scores;
 }
 
+bool LookaheadStrategy::CutoffUsable() const {
+  if (objective_ != Objective::kEntropy) return true;
+  // The Shannon branch fires for α ≈ 1 > 0; plain Tsallis needs α > 0 for
+  // monotonicity (α ≤ 0 puts negative exponents on the counts).
+  return alpha_ > 0;
+}
+
+namespace {
+
+/// Strategy-objective adapter for the engine's bounded simulation: the upper
+/// bound at (pos_cap, neg_cap) is the objective itself (monotone — see
+/// LookaheadStrategy::CutoffUsable), widened for the entropy family by a
+/// multiplicative ulp-scale slack so floating-point rounding of log/pow can
+/// never make the "bound" dip below an achievable score.
+class MonotoneBound final : public InferenceEngine::AggregateBoundFn {
+ public:
+  MonotoneBound(const LookaheadStrategy& strategy, bool slack)
+      : strategy_(strategy), slack_(slack) {}
+  double UpperBound(size_t pos_cap, size_t neg_cap) const override {
+    const double value = strategy_.ObjectiveValue(pos_cap, neg_cap);
+    if (!slack_) return value;  // min/mean: exact in double up to 2^53
+    return value * (1.0 + 1e-9) + 1e-9;
+  }
+
+ private:
+  const LookaheadStrategy& strategy_;
+  const bool slack_;
+};
+
+}  // namespace
+
 size_t LookaheadStrategy::PickClass(const InferenceEngine& engine) {
-  return Strategy::PickClass(engine);
+  last_skips_.clear();
+  last_evaluated_ = 0;
+  if (!cutoff_enabled_ || !CutoffUsable()) {
+    return Strategy::PickClass(engine);
+  }
+  const std::vector<size_t>& candidates = engine.InformativeClasses();
+  JIM_CHECK(!candidates.empty()) << "PickClass on a finished engine";
+  const size_t n = candidates.size();
+  const size_t cap = max_candidates_ == 0 ? n : std::min(n, max_candidates_);
+
+  InferenceEngine::LookaheadBoundsCache bounds;
+  engine.PrepareLookaheadBounds(bounds);
+  const MonotoneBound objective(*this, objective_ == Objective::kEntropy);
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> scores(n, kNegInf);
+  std::vector<double> skip_bound(n, kNegInf);
+  std::vector<uint8_t> evaluated(n, 0);
+  exec::ThreadPool* pool = use_shared_pool_ ? &exec::SharedPool() : pool_;
+  if (pool != nullptr && pool->threads() > 1 && cap > 1) {
+    // Same disjoint-slot sampling as Score. The running best is a relaxed
+    // atomic maximum: a chunk reading a stale (smaller) best merely skips
+    // less. Every skipped candidate's true score stays strictly below the
+    // final maximum, so the argmax below is the exhaustive one — the scores
+    // it compares are bitwise Score()'s wherever they were computed, and
+    // every candidate achieving the maximum is always computed.
+    scratch_pool_.EnsureSlots(std::min(pool->threads(), cap));
+    std::atomic<double> best{kNegInf};
+    pool->ParallelFor(cap, [&](size_t j, size_t chunk) {
+      exec::EvalScratch& slot = scratch_pool_.Slot(chunk);
+      const size_t i = j * n / cap;
+      const double threshold = best.load(std::memory_order_relaxed);
+      InferenceEngine::LabelImpactPair both;
+      double bound = kNegInf;
+      if (engine.SimulateLabelBothBounded(candidates[i], slot.meet_tmp,
+                                          slot.scratch, bounds, objective,
+                                          threshold, &both, &bound)) {
+        const double score = Aggregate(both.positive.pruned_tuples,
+                                       both.negative.pruned_tuples);
+        scores[i] = score;
+        evaluated[i] = 1;
+        double current = best.load(std::memory_order_relaxed);
+        while (current < score &&
+               !best.compare_exchange_weak(current, score,
+                                           std::memory_order_relaxed)) {
+        }
+      } else {
+        skip_bound[i] = bound;
+      }
+    });
+  } else {
+    // Serial: the best is a monotone running maximum, so later candidates
+    // face the tightest threshold seen so far.
+    scratch_pool_.EnsureSlots(1);
+    exec::EvalScratch& slot = scratch_pool_.Slot(0);
+    double best = kNegInf;
+    for (size_t j = 0; j < cap; ++j) {
+      const size_t i = j * n / cap;
+      InferenceEngine::LabelImpactPair both;
+      double bound = kNegInf;
+      if (engine.SimulateLabelBothBounded(candidates[i], slot.meet_tmp,
+                                          slot.scratch, bounds, objective,
+                                          best, &both, &bound)) {
+        scores[i] = Aggregate(both.positive.pruned_tuples,
+                              both.negative.pruned_tuples);
+        evaluated[i] = 1;
+        best = std::max(best, scores[i]);
+      } else {
+        skip_bound[i] = bound;
+      }
+    }
+  }
+
+  size_t best_i = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (scores[i] > scores[best_i]) best_i = i;
+  }
+  for (size_t j = 0; j < cap; ++j) {
+    const size_t i = j * n / cap;
+    if (evaluated[i]) {
+      ++last_evaluated_;
+    } else {
+      last_skips_.push_back(CutoffSkip{candidates[i], skip_bound[i]});
+    }
+  }
+  return candidates[best_i];
 }
 
 // --------------------------------------------------------------- Optimal --
 
 namespace {
 
-/// Memoized minimax over inference states. The classes of the instance are
-/// fixed; a state is summarized by its compact StateKey (canonical label
-/// vectors + precomputed hash — no string rendering on the memo path).
+/// Memoized minimax over inference states, explored on one
+/// SpeculativeSession: labels are applied and undone on the trail, so a tree
+/// node costs O(classes pruned by its label) bookkeeping instead of the old
+/// full-engine rescan (classify *every* class) plus an InferenceState copy
+/// per answer branch. A state is summarized by its compact StateKey
+/// (canonical label vectors + precomputed hash — no string rendering on the
+/// memo path); the candidate iteration order is the session's ascending live
+/// list, exactly the worklist order the rescan produced, so memoized values
+/// and tie-breaks are unchanged.
 class MinimaxSolver {
  public:
   MinimaxSolver(const InferenceEngine& engine, size_t node_budget)
-      : engine_(engine), node_budget_(node_budget) {}
+      : session_(engine), node_budget_(node_budget) {}
 
-  /// Worst-case questions needed from `state`, considering as candidates
-  /// the classes listed in `live` (informative under `state`).
-  size_t Solve(const InferenceState& state) {
-    InferenceState::StateKey key = state.MakeStateKey();
+  /// Worst-case questions needed from the session's current state.
+  size_t Solve() {
+    InferenceState::StateKey key = session_.state().MakeStateKey();
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
     JIM_CHECK_LT(nodes_++, node_budget_)
         << "optimal strategy exceeded its node budget";
 
-    std::vector<size_t> live;
-    for (size_t c = 0; c < engine_.num_classes(); ++c) {
-      // Classes labeled/forced in the *real* engine are settled in every
-      // descendant state as well (knowledge only grows).
-      if (engine_.class_status(c) != ClassStatus::kInformative) continue;
-      if (state.ClassifyWith(engine_.tuple_class(c).partition, meet_tmp_,
-                             scratch_) == TupleClassification::kInformative) {
-        live.push_back(c);
-      }
-    }
-    size_t best = live.empty() ? 0 : SIZE_MAX;
-    for (size_t c : live) {
-      const size_t cost = 1 + WorstAnswer(state, c);
+    // Iterating the live list directly is safe across the recursive
+    // Apply/Undo below: every Apply is undone before the next NextLive read,
+    // and the dancing-links restore is exact.
+    size_t best = session_.num_live() == 0 ? 0 : SIZE_MAX;
+    for (size_t c = session_.FirstLive(); c != session_.LiveEnd();
+         c = session_.NextLive(c)) {
+      const size_t cost = 1 + WorstAnswer(c);
       best = std::min(best, cost);
       if (best == 1) break;  // cannot do better than one question
     }
@@ -229,27 +346,24 @@ class MinimaxSolver {
     return best;
   }
 
-  /// max over the two answers of Solve(state + answer).
-  size_t WorstAnswer(const InferenceState& state, size_t class_id) {
+  /// max over the two answers of Solve(current state + answer).
+  size_t WorstAnswer(size_t class_id) {
     size_t worst = 0;
     for (Label label : {Label::kPositive, Label::kNegative}) {
-      InferenceState next = state;
-      JIM_CHECK_OK(
-          next.ApplyLabel(engine_.tuple_class(class_id).partition, label));
-      worst = std::max(worst, Solve(next));
+      session_.Apply(class_id, label);
+      worst = std::max(worst, Solve());
+      session_.Undo();
     }
     return worst;
   }
 
  private:
-  const InferenceEngine& engine_;
+  SpeculativeSession session_;
   size_t node_budget_;
   size_t nodes_ = 0;
   std::unordered_map<InferenceState::StateKey, size_t,
                      InferenceState::StateKeyHash>
       memo_;
-  lat::PartitionScratch scratch_;
-  lat::Partition meet_tmp_;
 };
 
 }  // namespace
@@ -262,8 +376,7 @@ std::vector<double> OptimalStrategy::Score(
   MinimaxSolver solver(engine, node_budget_);
   std::vector<double> scores(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
-    scores[i] = -static_cast<double>(
-        solver.WorstAnswer(engine.state(), candidates[i]));
+    scores[i] = -static_cast<double>(solver.WorstAnswer(candidates[i]));
   }
   return scores;
 }
@@ -271,7 +384,7 @@ std::vector<double> OptimalStrategy::Score(
 size_t OptimalWorstCaseQuestions(const InferenceEngine& engine,
                                  size_t node_budget) {
   MinimaxSolver solver(engine, node_budget);
-  return solver.Solve(engine.state());
+  return solver.Solve();
 }
 
 // --------------------------------------------------------------- Factory --

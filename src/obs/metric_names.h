@@ -33,6 +33,20 @@ inline constexpr char kCounterEnginePrunedClasses[] =
 /// cutoff optimization must beat (see ROADMAP direction 2).
 inline constexpr char kCounterEngineSimulateLabelBoth[] =
     "engine.simulate_label_both";
+/// Lookahead candidates whose simulation was skipped (or aborted mid-scan)
+/// because their upper bound provably could not beat the best score already
+/// computed — the work the cutoff saves. skip fraction =
+/// cutoff_skips / (cutoff_skips + simulate_label_both).
+inline constexpr char kCounterEngineCutoffSkips[] = "engine.cutoff_skips";
+/// Classes woken (watch-list drained and fully retested) by a negative-label
+/// propagation. The watch win is this number staying far below the worklist
+/// size the pre-watch scan visited.
+inline constexpr char kCounterEngineWatchWakes[] = "engine.watch_wakes";
+/// Worklist classes whose antichain DominatedBy scan was skipped during a
+/// positive-label propagation because their watched pair survived the
+/// knowledge refresh and is covered by no antichain member.
+inline constexpr char kCounterEngineWatchExemptions[] =
+    "engine.watch_exemptions";
 /// Informative-class worklist size observed after each propagation pass.
 inline constexpr char kHistEngineWorklistSize[] = "engine.worklist_size";
 inline constexpr char kHistEngineBuildMicros[] =
