@@ -25,6 +25,13 @@
 #                        address sanitizer: every syscall index during
 #                        WriteStore/SaveCatalog crashed and replayed,
 #                        old-XOR-new proven on each reopened image
+#   - SERVE stage        the serving daemon under address sanitizer:
+#                        protocol/session-manager suites, the checkpoint
+#                        crash-point enumeration, the 64-session TCP e2e
+#                        with kill+restart transcript diffing, plus the
+#                        trusted-reopen and JSON-reader suites, and a
+#                        jim_cli serve --stdio smoke against the round-trip
+#                        instance
 #   - audit stage        -DJIM_AUDIT_INVARIANTS=ON build running the parity
 #                        suites with every engine mutation re-deriving its
 #                        CheckInvariants contract
@@ -215,6 +222,37 @@ else
     storage_fault_env_test storage_crash_recovery_test
   (cd build-asan && ctest --output-on-failure -j"$(nproc)" \
     -R 'FaultEnv|PosixEnv|CrashRecovery')
+fi
+
+# --- SERVE stage (serving daemon under ASAN + stdio smoke) ---------------
+# Reuses the ASAN tree: connection handlers, checkpoint recovery, and the
+# session replay path juggle raw buffers across threads — exactly where a
+# lifetime bug would hide. The e2e suite in here is the PR's acceptance
+# driver: 64 concurrent TCP sessions, daemon killed and restarted
+# mid-stream, every remaining response line diffed byte-for-byte.
+if [[ "${JIM_SKIP_SERVE:-0}" == "1" ]]; then
+  warn_skip "JIM_SKIP_SERVE=1" "SERVE"
+elif ! sanitizer_available address; then
+  warn_skip "toolchain cannot link -fsanitize=address (libasan missing?)" \
+    "SERVE"
+else
+  cmake -B build-asan -S . -DJIM_SANITIZE=address -DJIM_WERROR=ON \
+    -DJIM_BUILD_BENCHES=OFF -DJIM_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j --target \
+    serve_protocol_test serve_session_manager_test \
+    serve_checkpoint_crash_test serve_server_e2e_test \
+    util_json_reader_test storage_trusted_reopen_test
+  (cd build-asan && ctest --output-on-failure -j"$(nproc)" \
+    -R 'Protocol|SessionManager|Serve|JsonReader|TrustedReopen')
+  # stdio smoke against the tier-1 build: one piped daemon run must answer
+  # ping/stats and exit cleanly on the shutdown verb.
+  printf '%s\n' '{"verb":"ping"}' '{"verb":"stats"}' '{"verb":"shutdown"}' | \
+    ./build/jim_cli serve --stdio \
+      --load-instance="$smokedir/flights.jimc" \
+      > "$smokedir/serve_stdio.txt" 2> "$smokedir/serve_stdio.err"
+  grep -qF '"verb":"ping"' "$smokedir/serve_stdio.txt"
+  grep -qF '"live":0' "$smokedir/serve_stdio.txt"
+  grep -qF '"verb":"shutdown"' "$smokedir/serve_stdio.txt"
 fi
 
 # --- invariant-audit stage -----------------------------------------------

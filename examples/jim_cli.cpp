@@ -12,6 +12,18 @@
 //       Evaluate an equi-join predicate on the instance.
 //   strategies
 //       List the available question-selection strategies.
+//   serve [--load-instance=FILE.jimc] [--port=N | --stdio]
+//         [--checkpoint-dir=DIR] [--max-sessions=N] [--max-steps=N]
+//         [--serve-mode=many|few] [--trusted-reopen] [--max-connections=N]
+//       Run the inference daemon (newline-delimited JSON verbs: create,
+//       suggest, label, status, result, close, stats, ping, shutdown).
+//       --port listens on localhost TCP (0 = ephemeral; the bound address
+//       is printed as "serving on 127.0.0.1:PORT"); --stdio serves one
+//       session over stdin/stdout instead. With --checkpoint-dir every
+//       live session is recovered on restart. See src/serve/README.md.
+//   call --port=N '<json-line>' ['<json-line>' ...]
+//       Send request lines to a running daemon and print the raw
+//       response lines.
 //
 // Persistent instances (infer/classes/eval):
 //   --save-instance=FILE.jimc   after loading, persist the encoded instance
@@ -39,7 +51,6 @@
 //   jim_cli infer flights.csv --save-instance=flights.jimc
 //   jim_cli infer --load-instance=flights.jimc --auto --goal="To=City"
 
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -48,6 +59,11 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/csv_io.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/session_manager.h"
+#include "serve/transport.h"
+#include "storage/env.h"
 #include "storage/mapped_store.h"
 #include "storage/metrics_env.h"
 #include "storage/snapshot.h"
@@ -90,12 +106,9 @@ storage::Env* CliEnv() {
 
 util::Status WriteTextFile(const std::string& path,
                            const std::string& contents) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  file << contents << "\n";
-  if (!file) {
-    return util::InternalError("could not write " + path);
-  }
-  return util::OkStatus();
+  storage::Env* env = CliEnv();
+  if (env == nullptr) env = storage::DefaultEnv();
+  return storage::WriteFileAtomically(*env, path, contents + "\n");
 }
 
 Flags ParseFlags(int argc, char** argv, int first) {
@@ -303,6 +316,98 @@ int CmdInfer(const Flags& flags) {
   return 0;
 }
 
+// The inference daemon: a SessionManager (optionally checkpointed and
+// recovering) behind a Server over localhost TCP or stdio.
+int CmdServe(const Flags& flags) {
+  serve::ServeOptions serve_options;
+  serve_options.env = CliEnv();
+  serve_options.checkpoint_dir = flags.Get("checkpoint-dir");
+  serve_options.trusted_reopen = flags.Has("trusted-reopen");
+  if (flags.Has("max-sessions")) {
+    auto parsed = util::ParseInt64(flags.Get("max-sessions"));
+    if (!parsed.ok() || *parsed < 1) return Fail("--max-sessions: bad value");
+    serve_options.max_sessions = static_cast<size_t>(*parsed);
+  }
+  if (flags.Has("max-steps")) {
+    auto parsed = util::ParseInt64(flags.Get("max-steps"));
+    if (!parsed.ok() || *parsed < 1) return Fail("--max-steps: bad value");
+    serve_options.default_max_steps = static_cast<uint64_t>(*parsed);
+  }
+  if (flags.Has("serve-mode")) {
+    auto mode = serve::ParseServingMode(flags.Get("serve-mode"));
+    if (!mode.ok()) return Fail(mode.status().ToString());
+    serve_options.mode = *mode;
+  }
+  if (flags.Has("load-instance")) {
+    serve_options.default_instance = flags.Get("load-instance");
+  }
+
+  serve::SessionManager manager(std::move(serve_options));
+  if (flags.Has("load-instance")) {
+    // Open eagerly so a bad path fails at startup, and register under the
+    // path so `create` requests (and recovered checkpoints) name it.
+    const std::string path = flags.Get("load-instance");
+    auto store = storage::OpenStore(path, CliEnv());
+    if (!store.ok()) return Fail(store.status().ToString());
+    manager.RegisterInstance(path, *std::move(store));
+  }
+  const util::Status recovered = manager.RecoverSessions();
+  if (!recovered.ok()) return Fail(recovered.ToString());
+
+  const bool stdio = flags.Has("stdio");
+  util::StatusOr<std::unique_ptr<serve::Transport>> transport =
+      util::UnimplementedError("no transport");
+  if (stdio) {
+    transport = serve::StdioTransport();
+  } else {
+    int64_t port = 0;
+    if (flags.Has("port")) {
+      auto parsed = util::ParseInt64(flags.Get("port"));
+      if (!parsed.ok() || *parsed < 0 || *parsed > 65535) {
+        return Fail("--port: bad value");
+      }
+      port = *parsed;
+    }
+    transport = serve::ListenTcp(static_cast<uint16_t>(port));
+  }
+  if (!transport.ok()) return Fail(transport.status().ToString());
+
+  serve::ServerOptions server_options;
+  if (flags.Has("max-connections")) {
+    auto parsed = util::ParseInt64(flags.Get("max-connections"));
+    if (!parsed.ok() || *parsed < 1) {
+      return Fail("--max-connections: bad value");
+    }
+    server_options.max_connections = static_cast<size_t>(*parsed);
+  }
+  serve::Server server(&manager, std::move(*transport), server_options);
+  server.Start();
+  if (stdio) {
+    // Stdout is the protocol stream; the address note goes to stderr.
+    std::cerr << "jim_cli: serving on " << server.address() << "\n";
+  } else {
+    std::cout << "serving on " << server.address() << std::endl;
+  }
+  server.Wait();
+  return 0;
+}
+
+int CmdCall(const Flags& flags) {
+  if (!flags.Has("port")) return Fail("call needs --port=N");
+  auto port = util::ParseInt64(flags.Get("port"));
+  if (!port.ok() || *port < 1 || *port > 65535) {
+    return Fail("--port: bad value");
+  }
+  auto client = serve::Client::ConnectTcp(static_cast<uint16_t>(*port));
+  if (!client.ok()) return Fail(client.status().ToString());
+  for (const std::string& line : flags.positional) {
+    auto response = client->CallRaw(line);
+    if (!response.ok()) return Fail(response.status().ToString());
+    std::cout << *response << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -322,6 +427,10 @@ int main(int argc, char** argv) {
     rc = CmdEval(flags);
   } else if (command == "infer") {
     rc = CmdInfer(flags);
+  } else if (command == "serve") {
+    rc = CmdServe(flags);
+  } else if (command == "call") {
+    rc = CmdCall(flags);
   } else {
     return Fail("unknown command '" + command + "'");
   }

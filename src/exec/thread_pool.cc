@@ -47,6 +47,11 @@ void ThreadPool::Submit(std::function<void()> task) {
   wake_.notify_one();
 }
 
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -56,8 +61,14 @@ void ThreadPool::WorkerLoop() {
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
+      ++active_;
     }
     task();  // tasks are wrapped by ParallelFor and never throw out
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) drained_.notify_all();
+    }
   }
 }
 

@@ -39,6 +39,13 @@ class ThreadPool {
   /// Requires threads() > 1 — a 1-thread pool has nobody to run it.
   void Submit(std::function<void()> task);
 
+  /// Blocks until the queue is empty and every in-flight task has returned
+  /// — the graceful-shutdown primitive for fire-and-forget Submit users
+  /// (serve::Server drains its connection handlers with this). Callers must
+  /// stop Submitting first; a task that keeps Submitting makes Drain wait
+  /// for that work too.
+  void Drain();
+
   /// Runs `body(i)` for every i in [0, n), blocking until all calls have
   /// returned. Work is split *statically* into min(threads(), n) contiguous
   /// chunks; chunk j additionally learns its id via `body(i, j)`-style
@@ -61,7 +68,11 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable wake_;
+  /// Signaled whenever the pool may have gone idle (see Drain).
+  std::condition_variable drained_;
   std::queue<std::function<void()>> tasks_;
+  /// Tasks currently executing on some worker.
+  size_t active_ = 0;
   bool stopping_ = false;
 };
 

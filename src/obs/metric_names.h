@@ -88,6 +88,30 @@ inline constexpr char kCounterStorageMkdirs[] = "storage.mkdirs";
 inline constexpr char kCounterStorageRetries[] = "storage.retries";
 inline constexpr char kCounterStorageFailures[] = "storage.failures";
 
+// --- serve::SessionManager / serve::Server ------------------------------
+inline constexpr char kGaugeServeSessionsLive[] = "serve.sessions.live";
+inline constexpr char kCounterServeSessionsCreated[] =
+    "serve.sessions.created";
+/// Sessions removed by an explicit `close` (or manager teardown of a
+/// finished session) — the complement of `live` against created+recovered.
+inline constexpr char kCounterServeSessionsEvicted[] =
+    "serve.sessions.evicted";
+/// Sessions rebuilt from checkpoints after a daemon restart.
+inline constexpr char kCounterServeSessionsRecovered[] =
+    "serve.sessions.recovered";
+/// Typed RESOURCE_EXHAUSTED admission rejections (session cap or
+/// per-session step cap).
+inline constexpr char kCounterServeSessionsRejected[] =
+    "serve.sessions.rejected";
+inline constexpr char kCounterServeRequests[] = "serve.requests";
+inline constexpr char kCounterServeRequestErrors[] = "serve.request_errors";
+inline constexpr char kHistServeCreateMicros[] = "serve.create_micros";
+inline constexpr char kHistServeSuggestMicros[] = "serve.suggest_micros";
+inline constexpr char kHistServeLabelMicros[] = "serve.label_micros";
+inline constexpr char kHistServeCheckpointMicros[] =
+    "serve.checkpoint_micros";
+inline constexpr char kHistServeRecoverMicros[] = "serve.recover_micros";
+
 }  // namespace jim::obs
 
 #endif  // JIM_OBS_METRIC_NAMES_H_

@@ -1,0 +1,93 @@
+#ifndef JIM_SERVE_SERVER_H_
+#define JIM_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "exec/thread_pool.h"
+#include "serve/protocol.h"
+#include "serve/session_manager.h"
+#include "serve/transport.h"
+#include "util/status.h"
+
+namespace jim::serve {
+
+struct ServerOptions {
+  /// Connections served concurrently; further accepted connections queue on
+  /// the handler pool until a slot frees (backpressure, not rejection).
+  size_t max_connections = 32;
+};
+
+/// The daemon's request loop: accepts connections off a Transport, runs one
+/// handler per connection on an exec::ThreadPool, and maps protocol verbs
+/// onto a SessionManager. Responses to session verbs deliberately carry no
+/// session id — two runs that drive the same session configurations produce
+/// byte-identical suggest/label/status/result lines even when the daemons
+/// minted different ids, which is what the recovery tests diff.
+///
+/// Lifecycle: Start() spawns the accept thread; Shutdown() (or a client's
+/// `shutdown` verb) stops the transport, unblocks every connection, and
+/// drains the handlers; Wait() blocks until that teardown completes. All
+/// three are safe to call from any thread, once.
+class Server {
+ public:
+  /// `manager` and `transport` must outlive the server. The transport is
+  /// owned from here on.
+  Server(SessionManager* manager, std::unique_ptr<Transport> transport,
+         ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const std::string& address() const { return transport_->address(); }
+
+  /// Spawns the accept loop and returns.
+  void Start();
+
+  /// Initiates teardown: no new connections, live ones unblocked. Returns
+  /// without waiting (a handler thread may call this — the `shutdown`
+  /// verb's path — without deadlocking on itself).
+  void RequestShutdown();
+
+  /// Blocks until the accept loop has exited and every handler finished.
+  void Wait();
+
+  /// RequestShutdown + Wait, for external callers.
+  void Shutdown();
+
+  /// Handles one already-parsed request line (exposed for tests; the
+  /// connection handlers funnel through this). Always returns a response
+  /// line. Sets `*shutdown_requested` when the verb was `shutdown`.
+  std::string HandleLine(const std::string& line, bool* shutdown_requested);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(uint64_t connection_id,
+                        std::unique_ptr<Connection> connection);
+
+  SessionManager* manager_;
+  std::unique_ptr<Transport> transport_;
+  ServerOptions options_;
+  exec::ThreadPool handler_pool_;
+
+  std::mutex mutex_;
+  /// Live connections by id, so RequestShutdown can unblock their reads.
+  /// Values are borrowed: the handler owns its connection and deregisters
+  /// before destroying it.
+  std::map<uint64_t, Connection*> connections_;
+  uint64_t next_connection_ = 1;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread accept_thread_;
+  /// Serializes Wait/Shutdown callers around the join + drain.
+  std::mutex wait_mutex_;
+};
+
+}  // namespace jim::serve
+
+#endif  // JIM_SERVE_SERVER_H_

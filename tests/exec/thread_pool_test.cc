@@ -1,8 +1,10 @@
 #include "exec/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -149,6 +151,36 @@ TEST(ThreadPoolTest, ConcurrentParallelForsFromManyThreads) {
   for (size_t t = 0; t < sums.size(); ++t) {
     EXPECT_EQ(sums[t], 4950L + 100L * static_cast<long>(t));
   }
+}
+
+TEST(ThreadPoolTest, DrainWaitsForSubmittedTasks) {
+  // Drain must observe both queued tasks and ones already running (the
+  // serve daemon's Wait() relies on this to let in-flight connection
+  // handlers finish after the accept thread stops submitting).
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      while (!release.load()) std::this_thread::yield();
+      ++completed;
+    });
+  }
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release = true;
+  });
+  pool.Drain();
+  EXPECT_EQ(completed.load(), 16);
+  releaser.join();
+}
+
+TEST(ThreadPoolTest, DrainOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Drain();
+  pool.Submit([] {});
+  pool.Drain();
+  pool.Drain();
 }
 
 }  // namespace

@@ -22,20 +22,27 @@ the library tree:
                         scheme (and of address-keyed logic in general).
   wallclock             Any <chrono> include, std::chrono mention, concrete
                         clock type, or C clock read in src/{core,lattice,
-                        query}. Tighter than nondet-call: inference code may
-                        not even *plumb* time. Wall-clock reads belong in
-                        src/obs/ and util/stopwatch.h only — observability
-                        wraps the engine, never the other way around.
+                        query,serve}. Tighter than nondet-call: inference
+                        and serving code may not even *plumb* time (a
+                        session transcript must replay bitwise identically
+                        on a daemon restarted years later). Wall-clock
+                        reads belong in src/obs/ and util/stopwatch.h only
+                        — observability wraps the engine, never the other
+                        way around.
   include-guard         Header guard not of the canonical
                         JIM_<PATH>_H_ form, missing, or with a stale
                         trailing #endif comment.
-  raw-io                Direct filesystem syscalls or stream I/O
-                        (::open/::read/::write/::rename/std::ofstream/
-                        std::ifstream/std::rename/std::remove/
-                        std::filesystem mutation) in src/storage/ outside
-                        env.cc. All storage I/O must route through the
-                        storage::Env seam so fault injection and crash
-                        replay see every operation.
+  raw-io                Direct filesystem/socket syscalls or stream I/O
+                        (::open/::read/::write/::rename/::socket/::send/
+                        ::recv/std::ofstream/std::ifstream/std::rename/
+                        std::remove/std::filesystem mutation) in
+                        src/storage/ outside env.cc, or in src/serve/. All
+                        storage I/O must route through the storage::Env
+                        seam so fault injection and crash replay see every
+                        operation; all serving I/O must route through the
+                        serve::Transport seam (checkpoints through Env),
+                        so src/serve/transport.cc carries the only
+                        allowlisted socket calls.
 
 Findings are suppressed only through the checked-in allowlist
 (tools/lint_determinism_allowlist.txt), one entry per line:
@@ -81,10 +88,12 @@ NONDET_RES = [
 ]
 ADDRESS_HASH_RE = re.compile(
     r"reinterpret_cast\s*<\s*(?:std\s*::\s*)?u?int(?:ptr_t|64_t)\s*>")
-# wallclock: inference code must stay time-free so sessions replay bitwise
-# identically. Timing wrappers live outside these directories (src/obs/,
-# util/stopwatch.h), so even *mentioning* chrono here is a finding.
-WALLCLOCK_SCOPE = ("core", "lattice", "query")
+# wallclock: inference and serving code must stay time-free so sessions
+# replay bitwise identically (serve/ checkpoints promise byte-identical
+# transcripts across daemon restarts). Timing wrappers live outside these
+# directories (src/obs/, util/stopwatch.h), so even *mentioning* chrono
+# here is a finding.
+WALLCLOCK_SCOPE = ("core", "lattice", "query", "serve")
 WALLCLOCK_RES = [
     (re.compile(r"#\s*include\s*<chrono>"), "<chrono> include"),
     (re.compile(r"\bstd\s*::\s*chrono\b"), "std::chrono use"),
@@ -93,13 +102,22 @@ WALLCLOCK_RES = [
     (re.compile(r"\b(?:clock_gettime|gettimeofday|clock)\s*\("),
      "C clock read"),
 ]
-# raw-io: storage code bypassing the Env seam. Matched in src/storage/ only,
-# with env.cc exempt (it IS the seam's posix backend).
+# raw-io: storage code bypassing the Env seam, or serving code bypassing
+# the Transport seam. Matched in src/storage/ and src/serve/, with env.cc
+# exempt (it IS the Env seam's posix backend); transport.cc (the Transport
+# seam's socket backend) is fenced through the allowlist instead, so every
+# one of its syscalls carries a checked-in justification. The socket verbs
+# are matched case-sensitively behind `::` so Server::Shutdown and
+# Connection::ShutdownNow stay invisible to the rule.
+RAW_IO_SCOPE = ("src/storage/", "src/serve/")
 RAW_IO_RES = [
     (re.compile(r"::\s*(?:open|creat|read|write|pread|pwrite|close|fsync|"
                 r"fdatasync|mmap|munmap|rename|unlink|mkdir|opendir|"
                 r"readdir|ftruncate|fopen|fstat|stat|lstat)\s*\("),
      "direct filesystem syscall"),
+    (re.compile(r"::\s*(?:socket|bind|listen|accept|connect|send|recv|"
+                r"setsockopt|getsockname|shutdown)\s*\("),
+     "direct socket syscall"),
     (re.compile(r"\bstd\s*::\s*(?:o|i)?fstream\b"), "std stream I/O"),
     (re.compile(r"\bstd\s*::\s*(?:rename|remove|fopen|tmpfile)\s*\("),
      "std C file mutation"),
@@ -210,14 +228,17 @@ def lint_file(rel_path, findings):
                         "wallclock", rel_path, number, raw_lines[number - 1],
                         f"{what} in inference code — wall-clock plumbing "
                         "belongs in src/obs/ or util/stopwatch.h"))
-        if (rel_path.startswith("src/storage/")
+        if (any(rel_path.startswith(scope) for scope in RAW_IO_SCOPE)
                 and rel_path not in RAW_IO_EXEMPT):
+            seam = ("serve::Transport (files: storage::Env)"
+                    if rel_path.startswith("src/serve/")
+                    else "storage::Env")
             for regex, what in RAW_IO_RES:
                 if regex.search(line):
                     findings.append((
                         "raw-io", rel_path, number, raw_lines[number - 1],
-                        f"{what} bypasses the storage::Env seam — route "
-                        "it through Env so fault injection sees it"))
+                        f"{what} bypasses the {seam} seam — route it "
+                        "through the seam so tests can intercept it"))
 
     if rel_path.endswith(".h"):
         token = guard_token(rel_path)
